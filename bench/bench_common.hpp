@@ -1,0 +1,118 @@
+#pragma once
+
+// Shared experiment plumbing for the per-table / per-figure benches
+// (DESIGN.md §3). Every bench is a self-contained binary; this header holds
+// the model zoo and the run-one-method loop they share.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/deep_cnn.hpp"
+#include "baselines/deepeb.hpp"
+#include "baselines/fno.hpp"
+#include "baselines/tempo_resist.hpp"
+#include "common/csv.hpp"
+#include "core/sdm_peb_model.hpp"
+#include "eval/harness.hpp"
+
+namespace sdmpeb::bench {
+
+/// Experiment scale; benches read SDMPEB_BENCH_CLIPS / SDMPEB_BENCH_EPOCHS
+/// from the environment so CI can dial cost up or down without rebuilds.
+struct BenchScale {
+  std::int64_t clips = 6;
+  std::int64_t epochs = 10;
+  double bake_seconds = 30.0;  ///< shortened bake (Table I: 90 s)
+
+  static BenchScale from_env(std::int64_t default_clips,
+                             std::int64_t default_epochs) {
+    BenchScale scale;
+    scale.clips = default_clips;
+    scale.epochs = default_epochs;
+    if (const char* env = std::getenv("SDMPEB_BENCH_CLIPS"))
+      scale.clips = std::atoll(env);
+    if (const char* env = std::getenv("SDMPEB_BENCH_EPOCHS"))
+      scale.epochs = std::atoll(env);
+    return scale;
+  }
+};
+
+inline eval::DatasetConfig bench_dataset_config(const BenchScale& scale) {
+  auto config = eval::DatasetConfig::small();
+  config.clip_count = scale.clips;
+  config.train_fraction = 0.67;
+  config.peb.duration_s = scale.bake_seconds;
+  config.seed = 2025;
+  return config;
+}
+
+inline core::TrainConfig bench_train_config(const BenchScale& scale) {
+  core::TrainConfig train;
+  train.epochs = scale.epochs;
+  // Accumulation 1: with a handful of training clips, the paper's
+  // accumulate-8 recipe would collapse an epoch into one optimiser step
+  // (DESIGN.md §5).
+  train.accumulation = 1;
+  train.lr0 = 2e-3f;
+  train.grad_clip_norm = 1.0f;
+  // Faster decay than the paper's 100-epoch steps: bench trainings are
+  // tens of epochs, not 500.
+  train.lr_step = 12;
+  train.lr_gamma = 0.6f;
+  return train;
+}
+
+/// Factory for one entry of the Table II model zoo. Model seeds are fixed
+/// so reruns are bit-identical.
+using ModelFactory = std::function<std::unique_ptr<core::PebNet>(Rng&)>;
+
+inline std::vector<std::pair<std::string, ModelFactory>> table2_model_zoo() {
+  std::vector<std::pair<std::string, ModelFactory>> zoo;
+  zoo.emplace_back("DeepCNN", [](Rng& rng) {
+    return std::make_unique<baselines::DeepCnn>(baselines::DeepCnnConfig{},
+                                                rng);
+  });
+  zoo.emplace_back("TEMPO-resist", [](Rng& rng) {
+    return std::make_unique<baselines::TempoResist>(
+        baselines::TempoResistConfig{}, rng);
+  });
+  zoo.emplace_back("FNO", [](Rng& rng) {
+    return std::make_unique<baselines::Fno>(baselines::FnoConfig{}, rng);
+  });
+  zoo.emplace_back("DeePEB", [](Rng& rng) {
+    return std::make_unique<baselines::DeePeb>(baselines::DeePebConfig{},
+                                               rng);
+  });
+  zoo.emplace_back("SDM-PEB", [](Rng& rng) {
+    return std::make_unique<core::SdmPebModel>(
+        core::SdmPebConfig::default_scale(), rng);
+  });
+  return zoo;
+}
+
+inline eval::MethodResult run_method(const std::string& label,
+                                     const ModelFactory& factory,
+                                     const eval::Dataset& dataset,
+                                     const core::TrainConfig& train) {
+  Rng model_rng(1234);
+  auto model = factory(model_rng);
+  std::printf("[bench] training %-14s (%lld params, %lld epochs)...\n",
+              label.c_str(), static_cast<long long>(model->parameter_count()),
+              static_cast<long long>(train.epochs));
+  std::fflush(stdout);
+  Rng train_rng(5678);
+  auto result = eval::train_and_evaluate(*model, dataset, train, train_rng);
+  result.name = label;
+  return result;
+}
+
+inline void ensure_output_dir() {
+  std::filesystem::create_directories("bench_out");
+}
+
+}  // namespace sdmpeb::bench

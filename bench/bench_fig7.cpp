@@ -1,0 +1,43 @@
+// Reproduces Fig. 7: percentage counts of CD errors in the x and y
+// directions bucketed into {[0,1), [1,2), [2,3), [3,4), >=4} nm for every
+// method of Table II.
+//
+// Expected shape: SDM-PEB's errors concentrate in the lowest bucket, with
+// its x and y distributions more alike than the baselines' (the robustness
+// argument of §IV).
+
+#include "bench_common.hpp"
+
+using namespace sdmpeb;
+
+int main() {
+  const auto scale = bench::BenchScale::from_env(/*clips=*/6, /*epochs=*/8);
+  bench::ensure_output_dir();
+  const auto dataset =
+      eval::build_dataset(bench::bench_dataset_config(scale));
+  const auto train = bench::bench_train_config(scale);
+
+  CsvWriter table({"method", "axis", "0-1nm_pct", "1-2nm_pct", "2-3nm_pct",
+                   "3-4nm_pct", "ge4nm_pct"});
+  std::printf("[bench_fig7] CD-error bucket percentages\n");
+  std::printf("%-14s %-4s %8s %8s %8s %8s %8s\n", "method", "axis", "0-1",
+              "1-2", "2-3", "3-4", ">=4");
+  for (const auto& [label, factory] : bench::table2_model_zoo()) {
+    const auto result = bench::run_method(label, factory, dataset, train);
+    const auto report = [&](const char* axis,
+                            const std::vector<double>& errors) {
+      const auto pct = eval::cd_error_percentages(errors);
+      std::printf("%-14s %-4s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+                  label.c_str(), axis, pct[0], pct[1], pct[2], pct[3],
+                  pct[4]);
+      table.add_row({label, axis, std::to_string(pct[0]),
+                     std::to_string(pct[1]), std::to_string(pct[2]),
+                     std::to_string(pct[3]), std::to_string(pct[4])});
+    };
+    report("x", result.cd_abs_err_x_nm);
+    report("y", result.cd_abs_err_y_nm);
+  }
+  table.save("bench_out/fig7_cd_error_buckets.csv");
+  std::printf("[bench_fig7] wrote bench_out/fig7_cd_error_buckets.csv\n");
+  return 0;
+}

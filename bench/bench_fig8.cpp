@@ -1,0 +1,60 @@
+// Reproduces Fig. 8: top-down visualisation of (a) ground truth,
+// (b) SDM-PEB prediction and (c) their difference, at the top surface and
+// the bottom surface of one test clip.
+//
+// Also caches the predicted/ground-truth inhibitor volumes in bench_out/ so
+// bench_fig9 (the vertical cuts of the same run) can reuse them instead of
+// retraining. Expected shape: |difference| small everywhere, concentrated
+// at contact edges where concentration changes are steepest.
+
+#include "bench_common.hpp"
+#include "io/pgm.hpp"
+#include "io/volume_io.hpp"
+
+using namespace sdmpeb;
+
+int main() {
+  const auto scale = bench::BenchScale::from_env(/*clips=*/6, /*epochs=*/14);
+  bench::ensure_output_dir();
+  const auto dataset =
+      eval::build_dataset(bench::bench_dataset_config(scale));
+  const auto train = bench::bench_train_config(scale);
+
+  Rng model_rng(1234);
+  core::SdmPebModel model(core::SdmPebConfig::default_scale(), model_rng);
+  Rng train_rng(5678);
+  core::train_model(model, eval::to_train_samples(dataset.train), train,
+                    train_rng);
+
+  const auto& sample = dataset.test.front();
+  const Tensor label_pred = core::predict(model, sample.acid_tensor);
+  const Grid3 inhibitor_pred = dataset.transform.to_inhibitor(label_pred);
+  const Grid3& inhibitor_gt = sample.inhibitor_gt;
+
+  // Cache for bench_fig9 (same seeds -> same run).
+  io::save_grid(inhibitor_pred, "bench_out/fig8_pred_inhibitor.bin");
+  io::save_grid(inhibitor_gt, "bench_out/fig8_gt_inhibitor.bin");
+
+  const auto dump_plane = [&](std::int64_t depth_index, const char* tag) {
+    const Tensor gt = io::depth_slice(inhibitor_gt, depth_index);
+    const Tensor pred = io::depth_slice(inhibitor_pred, depth_index);
+    Tensor diff = pred;
+    diff -= gt;
+    io::save_pgm(gt, std::string("bench_out/fig8_") + tag + "_gt.pgm", 0.0f,
+                 1.0f);
+    io::save_pgm(pred, std::string("bench_out/fig8_") + tag + "_pred.pgm",
+                 0.0f, 1.0f);
+    io::save_pgm(diff, std::string("bench_out/fig8_") + tag + "_diff.pgm",
+                 -0.1f, 0.1f);
+    std::printf("  %-6s |diff| max %.4f mean %.5f\n", tag, diff.abs_max(),
+                diff.map([](float v) { return std::abs(v); }).mean());
+  };
+
+  std::printf("[bench_fig8] top/bottom surface comparison:\n");
+  dump_plane(0, "top");
+  dump_plane(inhibitor_gt.depth() - 1, "bottom");
+  std::printf(
+      "[bench_fig8] wrote bench_out/fig8_*.pgm and cached volumes for "
+      "bench_fig9\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Fig. 9: vertical visualisation of predicted results at the
+// centre contact and a corner contact — (a) ground truth, (b) prediction,
+// (c) difference.
+//
+// Reuses the volumes cached by bench_fig8 when present (same seeds, same
+// run); otherwise retrains the surrogate itself. Expected shape: the
+// prediction tracks the continuous depthwise variation; discrepancies
+// concentrate at contact edges.
+
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "io/pgm.hpp"
+#include "io/volume_io.hpp"
+
+using namespace sdmpeb;
+
+int main() {
+  const auto scale = bench::BenchScale::from_env(/*clips=*/6, /*epochs=*/14);
+  bench::ensure_output_dir();
+  const auto dataset =
+      eval::build_dataset(bench::bench_dataset_config(scale));
+  const auto& sample = dataset.test.front();
+
+  Grid3 inhibitor_pred;
+  if (std::filesystem::exists("bench_out/fig8_pred_inhibitor.bin")) {
+    std::printf("[bench_fig9] reusing bench_fig8's cached prediction\n");
+    inhibitor_pred = io::load_grid("bench_out/fig8_pred_inhibitor.bin");
+  } else {
+    std::printf("[bench_fig9] no cache found; training the surrogate\n");
+    const auto train = bench::bench_train_config(scale);
+    Rng model_rng(1234);
+    core::SdmPebModel model(core::SdmPebConfig::default_scale(), model_rng);
+    Rng train_rng(5678);
+    core::train_model(model, eval::to_train_samples(dataset.train), train,
+                      train_rng);
+    inhibitor_pred =
+        dataset.transform.to_inhibitor(core::predict(model,
+                                                     sample.acid_tensor));
+  }
+  const Grid3& inhibitor_gt = sample.inhibitor_gt;
+
+  // Pick the contact nearest the clip centre and the one nearest a corner.
+  const auto& contacts = sample.clip.contacts;
+  const auto dist2 = [](const litho::Contact& c, std::int64_t h,
+                        std::int64_t w) {
+    const auto dh = c.center_h - h;
+    const auto dw = c.center_w - w;
+    return dh * dh + dw * dw;
+  };
+  std::size_t centre_idx = 0, corner_idx = 0;
+  for (std::size_t i = 1; i < contacts.size(); ++i) {
+    if (dist2(contacts[i], inhibitor_gt.height() / 2,
+              inhibitor_gt.width() / 2) <
+        dist2(contacts[centre_idx], inhibitor_gt.height() / 2,
+              inhibitor_gt.width() / 2))
+      centre_idx = i;
+    if (dist2(contacts[i], 0, 0) < dist2(contacts[corner_idx], 0, 0))
+      corner_idx = i;
+  }
+
+  CsvWriter profile({"contact", "depth_index", "gt", "pred", "diff"});
+  const auto dump_cut = [&](std::size_t idx, const char* tag) {
+    const auto row = contacts[idx].center_h;
+    const auto col = contacts[idx].center_w;
+    const Tensor gt = io::vertical_slice(inhibitor_gt, row);
+    const Tensor pred = io::vertical_slice(inhibitor_pred, row);
+    Tensor diff = pred;
+    diff -= gt;
+    io::save_pgm(gt, std::string("bench_out/fig9_") + tag + "_gt.pgm", 0.0f,
+                 1.0f);
+    io::save_pgm(pred, std::string("bench_out/fig9_") + tag + "_pred.pgm",
+                 0.0f, 1.0f);
+    io::save_pgm(diff, std::string("bench_out/fig9_") + tag + "_diff.pgm",
+                 -0.1f, 0.1f);
+    for (std::int64_t d = 0; d < inhibitor_gt.depth(); ++d)
+      profile.add_row({tag, std::to_string(d),
+                       std::to_string(inhibitor_gt.at(d, row, col)),
+                       std::to_string(inhibitor_pred.at(d, row, col)),
+                       std::to_string(inhibitor_pred.at(d, row, col) -
+                                      inhibitor_gt.at(d, row, col))});
+    std::printf("  %-6s contact at (%lld, %lld): |diff| max %.4f\n", tag,
+                static_cast<long long>(row), static_cast<long long>(col),
+                diff.abs_max());
+  };
+
+  std::printf("[bench_fig9] vertical cuts:\n");
+  dump_cut(centre_idx, "center");
+  dump_cut(corner_idx, "corner");
+  profile.save("bench_out/fig9_depth_profiles.csv");
+  std::printf("[bench_fig9] wrote bench_out/fig9_*.pgm + "
+              "fig9_depth_profiles.csv\n");
+  return 0;
+}

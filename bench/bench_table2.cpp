@@ -1,0 +1,63 @@
+// Reproduces Table II: "Comparison with different PEB solvers."
+//
+// Trains all five methods (DeepCNN, TEMPO-resist, FNO, DeePEB, SDM-PEB) on
+// the same seeded dataset with the same recipe and reports inhibitor
+// RMSE/NRMSE, development-rate RMSE/NRMSE, CD error in x/y and mean
+// inference runtime, plus the rigorous-solver runtime reference (the
+// paper's S-Litho column, here our reaction–diffusion solver).
+//
+// Expected shape vs the paper (absolute numbers differ — CPU-scale grids
+// and trainings, see EXPERIMENTS.md): SDM-PEB most accurate, DeePEB second,
+// all surrogates orders of magnitude faster than the rigorous solve.
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+
+using namespace sdmpeb;
+
+int main() {
+  const auto scale = bench::BenchScale::from_env(/*clips=*/6, /*epochs=*/18);
+  bench::ensure_output_dir();
+
+  std::printf("[bench_table2] dataset: %lld clips, %.0f s bake\n",
+              static_cast<long long>(scale.clips), scale.bake_seconds);
+  Timer timer;
+  const auto dataset =
+      eval::build_dataset(bench::bench_dataset_config(scale));
+  std::printf("[bench_table2] dataset built in %.1f s (rigorous %.2f s/clip)\n",
+              timer.seconds(), dataset.mean_rigorous_seconds());
+
+  const auto train = bench::bench_train_config(scale);
+  std::vector<eval::MethodResult> results;
+  for (const auto& [label, factory] : bench::table2_model_zoo())
+    results.push_back(bench::run_method(label, factory, dataset, train));
+
+  std::printf("\n=== Table II (reproduced) ===\n%s",
+              eval::format_results_table(results,
+                                         dataset.mean_rigorous_seconds())
+                  .c_str());
+
+  // Speedup column of the §IV runtime discussion.
+  std::printf("speedup vs rigorous solver:\n");
+  for (const auto& r : results)
+    std::printf("  %-14s %8.0fx\n", r.name.c_str(),
+                dataset.mean_rigorous_seconds() / r.runtime_seconds);
+
+  CsvWriter table({"method", "inhibitor_rmse", "inhibitor_nrmse_pct",
+                   "rate_rmse", "rate_nrmse_pct", "cd_err_x_nm",
+                   "cd_err_y_nm", "runtime_s", "speedup_vs_rigorous"});
+  for (const auto& r : results) {
+    table.add_row(
+        {r.name, std::to_string(r.accuracy.inhibitor_rmse),
+         std::to_string(r.accuracy.inhibitor_nrmse * 100.0),
+         std::to_string(r.accuracy.rate_rmse),
+         std::to_string(r.accuracy.rate_nrmse * 100.0),
+         std::to_string(r.cd_error_x_nm), std::to_string(r.cd_error_y_nm),
+         std::to_string(r.runtime_seconds),
+         std::to_string(dataset.mean_rigorous_seconds() /
+                        r.runtime_seconds)});
+  }
+  table.save("bench_out/table2.csv");
+  std::printf("\n[bench_table2] wrote bench_out/table2.csv\n");
+  return 0;
+}

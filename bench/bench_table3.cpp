@@ -1,0 +1,92 @@
+// Reproduces Table III: the ablation study.
+//
+// Five variants trained identically:
+//   Single Layer Encoder — only stage 1 feeds the fusion/decoder
+//   2-D Scan             — depth-forward/backward scans only (no spatial)
+//   w/o. Focal Loss      — MaxSE + divergence regularisation only
+//   w/o. Regularization  — MaxSE + focal loss only
+//   SDM-PEB              — the full method
+//
+// Expected shape: every ablation is worse than the full model, with the
+// single-layer encoder worst (the paper's ordering).
+
+#include "bench_common.hpp"
+
+using namespace sdmpeb;
+
+namespace {
+
+struct AblationSpec {
+  std::string label;
+  core::SdmPebConfig model_config;
+  core::LossConfig loss_config;
+};
+
+std::vector<AblationSpec> ablation_specs() {
+  std::vector<AblationSpec> specs;
+  const auto base = core::SdmPebConfig::default_scale();
+  const core::LossConfig full_loss;
+
+  AblationSpec single{"SingleLayerEnc", base, full_loss};
+  single.model_config.single_stage = true;
+  specs.push_back(single);
+
+  AblationSpec twod{"2-D Scan", base, full_loss};
+  twod.model_config.scan_directions =
+      core::ScanDirections::kDepthForwardBackward;
+  specs.push_back(twod);
+
+  AblationSpec no_focal{"w/o FocalLoss", base, full_loss};
+  no_focal.loss_config.use_focal = false;
+  specs.push_back(no_focal);
+
+  AblationSpec no_reg{"w/o Regular.", base, full_loss};
+  no_reg.loss_config.use_divergence = false;
+  specs.push_back(no_reg);
+
+  specs.push_back({"SDM-PEB", base, full_loss});
+  return specs;
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::BenchScale::from_env(/*clips=*/6, /*epochs=*/14);
+  bench::ensure_output_dir();
+
+  std::printf("[bench_table3] dataset: %lld clips\n",
+              static_cast<long long>(scale.clips));
+  const auto dataset =
+      eval::build_dataset(bench::bench_dataset_config(scale));
+
+  std::vector<eval::MethodResult> results;
+  for (const auto& spec : ablation_specs()) {
+    auto train = bench::bench_train_config(scale);
+    train.loss = spec.loss_config;
+    const auto factory = [&spec](Rng& rng) {
+      return std::make_unique<core::SdmPebModel>(spec.model_config, rng);
+    };
+    results.push_back(
+        bench::run_method(spec.label, factory, dataset, train));
+  }
+
+  std::printf("\n=== Table III (reproduced): ablation study ===\n");
+  std::printf("%-16s %12s %10s %8s %8s\n", "Methodology", "I-NRMSE(%)",
+              "R-NRMSE(%)", "CDx(nm)", "CDy(nm)");
+  for (const auto& r : results)
+    std::printf("%-16s %12.3f %10.3f %8.3f %8.3f\n", r.name.c_str(),
+                r.accuracy.inhibitor_nrmse * 100.0,
+                r.accuracy.rate_nrmse * 100.0, r.cd_error_x_nm,
+                r.cd_error_y_nm);
+
+  CsvWriter table({"methodology", "inhibitor_nrmse_pct", "rate_nrmse_pct",
+                   "cd_err_x_nm", "cd_err_y_nm"});
+  for (const auto& r : results)
+    table.add_row({r.name, std::to_string(r.accuracy.inhibitor_nrmse * 100.0),
+                   std::to_string(r.accuracy.rate_nrmse * 100.0),
+                   std::to_string(r.cd_error_x_nm),
+                   std::to_string(r.cd_error_y_nm)});
+  table.save("bench_out/table3.csv");
+  std::printf("\n[bench_table3] wrote bench_out/table3.csv\n");
+  return 0;
+}

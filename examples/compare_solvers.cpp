@@ -1,0 +1,53 @@
+// Miniature Table II: train SDM-PEB and the DeePEB baseline on the same
+// dataset with the same recipe, then print the paper's comparison columns
+// side by side. (bench_table2 runs the full five-method version; this
+// example keeps a two-method comparison small enough for a quick read of
+// the API.)
+
+#include <cstdio>
+
+#include "baselines/deepeb.hpp"
+#include "core/sdm_peb_model.hpp"
+#include "eval/harness.hpp"
+
+using namespace sdmpeb;
+
+int main() {
+  auto config = eval::DatasetConfig::small();
+  config.clip_count = 4;
+  config.train_fraction = 0.75;
+  config.peb.duration_s = 30.0;
+  std::printf("building dataset...\n");
+  const auto dataset = eval::build_dataset(config);
+
+  core::TrainConfig train;
+  train.epochs = 6;
+  train.accumulation = 1;
+  train.lr0 = 1e-3f;
+
+  std::vector<eval::MethodResult> results;
+  {
+    Rng rng(1);
+    core::SdmPebModel model(core::SdmPebConfig::default_scale(), rng);
+    Rng train_rng(2);
+    std::printf("training %s (%lld params)...\n", model.name().c_str(),
+                static_cast<long long>(model.parameter_count()));
+    results.push_back(
+        eval::train_and_evaluate(model, dataset, train, train_rng));
+  }
+  {
+    Rng rng(1);
+    baselines::DeePebConfig deepeb_config;
+    baselines::DeePeb model(deepeb_config, rng);
+    Rng train_rng(2);
+    std::printf("training %s (%lld params)...\n", model.name().c_str(),
+                static_cast<long long>(model.parameter_count()));
+    results.push_back(
+        eval::train_and_evaluate(model, dataset, train, train_rng));
+  }
+
+  std::printf("\n%s", eval::format_results_table(
+                          results, dataset.mean_rigorous_seconds())
+                          .c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Physics-only study of the rigorous PEB solver: how the Table I parameters
+// shape the latent image. Sweeps quencher loading and acid diffusion length
+// on one clip and reports the bottom-layer contact CD — the knob-level
+// behaviour a process engineer would explore with S-Litho.
+
+#include <cstdio>
+
+#include "develop/eikonal.hpp"
+#include "develop/mack.hpp"
+#include "develop/profile.hpp"
+#include "eval/dataset.hpp"
+#include "litho/aerial.hpp"
+#include "litho/dill.hpp"
+#include "litho/mask.hpp"
+#include "peb/peb_solver.hpp"
+
+using namespace sdmpeb;
+
+namespace {
+
+double center_contact_cd(const Grid3& acid0, const litho::MaskClip& clip,
+                         const eval::DatasetConfig& config,
+                         const peb::PebParams& peb_params) {
+  const peb::PebSolver solver(peb_params);
+  const auto baked = solver.run(acid0);
+  const auto rate = develop::development_rate(baked.inhibitor, config.mack);
+  develop::EikonalSpacing spacing{peb_params.dx_nm, peb_params.dy_nm,
+                                  peb_params.dz_nm};
+  const auto front = develop::solve_development_front(rate, spacing);
+  const auto cds = develop::measure_clip_cds(
+      front, config.mack.develop_time_s, clip, acid0.depth() - 1);
+  // Largest printed contact is the cleanest probe.
+  double best = 0.0;
+  for (const auto& cd : cds) best = std::max(best, cd.cd_x_nm);
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  auto config = eval::DatasetConfig::small();
+  config.peb.duration_s = 30.0;
+
+  Rng rng(99);
+  const auto clip = litho::generate_contact_clip(config.mask, rng);
+  const auto aerial = litho::simulate_aerial_image(clip, config.aerial);
+  const auto acid0 = litho::exposure_to_photoacid(aerial, config.dill);
+  std::printf("clip with %zu contacts; sweeping PEB parameters\n\n",
+              clip.contacts.size());
+
+  std::printf("quencher loading [B]0 sweep (acid diffusion at Table I):\n");
+  std::printf("  %8s %12s\n", "[B]0", "CD_x (nm)");
+  for (double base0 : {0.0, 0.2, 0.4, 0.6}) {
+    auto params = config.peb;
+    params.duration_s = 30.0;
+    params.base0 = base0;
+    std::printf("  %8.2f %12.1f\n", base0,
+                center_contact_cd(acid0, clip, config, params));
+  }
+
+  std::printf("\nacid lateral diffusion length sweep ([B]0 = 0.4):\n");
+  std::printf("  %8s %12s\n", "L_xy(nm)", "CD_x (nm)");
+  for (double length : {5.0, 10.0, 20.0, 40.0}) {
+    auto params = config.peb;
+    params.duration_s = 30.0;
+    params.lateral_diff_len_acid_nm = length;
+    std::printf("  %8.1f %12.1f\n", length,
+                center_contact_cd(acid0, clip, config, params));
+  }
+
+  std::printf(
+      "\nExpected physics: more quencher shrinks the printed contact "
+      "(acid neutralised at the halo); longer lateral diffusion first "
+      "widens, then washes out the feature.\n");
+  return 0;
+}

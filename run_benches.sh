@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every reproduced table/figure: one binary per experiment
+# (DESIGN.md §3). Artifacts land in ./bench_out. Scale via
+# SDMPEB_BENCH_CLIPS / SDMPEB_BENCH_EPOCHS.
+cd "$(dirname "$0")"
+rm -rf bench_out
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b ====="
+  stdbuf -oL "$b"
+done
+echo "BENCH_SEQUENCE_DONE"

@@ -1,0 +1,38 @@
+#include "baselines/deep_cnn.hpp"
+
+#include "common/error.hpp"
+
+namespace sdmpeb::baselines {
+
+namespace nnops = nn::ops;
+
+DeepCnn::DeepCnn(const DeepCnnConfig& config, Rng& rng)
+    : config_(config),
+      lift_(1, config.channels, config.kernel, 1, config.kernel / 2, rng),
+      head_(config.channels, 1, config.kernel, 1, config.kernel / 2, rng) {
+  SDMPEB_CHECK(config.channels > 0 && config.blocks >= 1);
+  register_module(lift_);
+  for (std::int64_t i = 0; i < 2 * config.blocks; ++i) {
+    block_convs_.push_back(std::make_unique<nn::Conv3d>(
+        config.channels, config.channels, config.kernel, 1,
+        config.kernel / 2, rng));
+    register_module(*block_convs_.back());
+  }
+  register_module(head_);
+}
+
+nn::Value DeepCnn::forward(const nn::Value& acid) const {
+  SDMPEB_CHECK(acid->value().rank() == 4 && acid->value().dim(0) == 1);
+  auto x = nnops::relu(lift_.forward(acid));
+  for (std::int64_t b = 0; b < config_.blocks; ++b) {
+    const auto& conv1 = *block_convs_[static_cast<std::size_t>(2 * b)];
+    const auto& conv2 = *block_convs_[static_cast<std::size_t>(2 * b + 1)];
+    auto y = conv2.forward(nnops::relu(conv1.forward(x)));
+    x = nnops::relu(nnops::add(x, y));
+  }
+  const auto out = head_.forward(x);
+  return nnops::reshape(out, Shape{out->value().dim(1), out->value().dim(2),
+                                   out->value().dim(3)});
+}
+
+}  // namespace sdmpeb::baselines

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/peb_net.hpp"
+#include "nn/layers.hpp"
+
+namespace sdmpeb::baselines {
+
+/// DeepCNN baseline: the CNN lithography model of Watanabe et al. [41]
+/// "customized with a residual connection" (§IV). A plain 3-D CNN at full
+/// resolution: lift conv → N residual blocks (conv-ReLU-conv + skip) →
+/// 1-channel head. No global context — the Table II row that shows why
+/// purely local receptive fields underfit PEB.
+struct DeepCnnConfig {
+  std::int64_t channels = 8;
+  std::int64_t blocks = 2;
+  std::int64_t kernel = 3;
+};
+
+class DeepCnn : public core::PebNet {
+ public:
+  DeepCnn(const DeepCnnConfig& config, Rng& rng);
+
+  nn::Value forward(const nn::Value& acid) const override;
+  std::string name() const override { return "DeepCNN"; }
+
+ private:
+  DeepCnnConfig config_;
+  nn::Conv3d lift_;
+  std::vector<std::unique_ptr<nn::Conv3d>> block_convs_;  // 2 per block
+  nn::Conv3d head_;
+};
+
+}  // namespace sdmpeb::baselines

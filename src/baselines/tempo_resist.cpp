@@ -1,0 +1,38 @@
+#include "baselines/tempo_resist.hpp"
+
+#include "common/error.hpp"
+
+namespace sdmpeb::baselines {
+
+namespace nnops = nn::ops;
+
+TempoResist::TempoResist(const TempoResistConfig& config, Rng& rng)
+    : config_(config),
+      enc1_(1, config.base_channels, 4, 2, 1, rng),
+      enc2_(config.base_channels, 2 * config.base_channels, 4, 2, 1, rng),
+      dec1_(2 * config.base_channels, config.base_channels, 4, 2, 1, rng),
+      dec2_(config.base_channels, config.base_channels, 4, 2, 1, rng),
+      head_(config.base_channels, 1, 3, 1, 1, rng) {
+  SDMPEB_CHECK(config.base_channels > 0);
+  register_module(enc1_);
+  register_module(enc2_);
+  register_module(dec1_);
+  register_module(dec2_);
+  register_module(head_);
+}
+
+nn::Value TempoResist::forward(const nn::Value& acid) const {
+  SDMPEB_CHECK(acid->value().rank() == 4 && acid->value().dim(0) == 1);
+  SDMPEB_CHECK_MSG(acid->value().dim(2) % 4 == 0 &&
+                       acid->value().dim(3) % 4 == 0,
+                   "TEMPO-resist needs lateral dims divisible by 4");
+  auto x = nnops::leaky_relu(enc1_.forward(acid), 0.2f);
+  x = nnops::leaky_relu(enc2_.forward(x), 0.2f);
+  x = nnops::leaky_relu(dec1_.forward(x), 0.2f);
+  x = nnops::leaky_relu(dec2_.forward(x), 0.2f);
+  const auto out = head_.forward(x);
+  return nnops::reshape(out, Shape{out->value().dim(1), out->value().dim(2),
+                                   out->value().dim(3)});
+}
+
+}  // namespace sdmpeb::baselines

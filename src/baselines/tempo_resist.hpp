@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/peb_net.hpp"
+#include "nn/layers.hpp"
+
+namespace sdmpeb::baselines {
+
+/// TEMPO-resist baseline: TEMPO [5] originally predicts 3-D aerial images
+/// slice-by-slice with a conditional-GAN generator; the paper adapts it to
+/// PEB prediction. Reproduced here as its generator: a 2-D encoder–decoder
+/// applied independently at every depth level with shared weights — strong
+/// lateral modelling, NO depthwise mixing. Its Table II gap to SDM-PEB
+/// isolates the value of cross-depth dependencies.
+struct TempoResistConfig {
+  std::int64_t base_channels = 12;
+};
+
+class TempoResist : public core::PebNet {
+ public:
+  TempoResist(const TempoResistConfig& config, Rng& rng);
+
+  nn::Value forward(const nn::Value& acid) const override;
+  std::string name() const override { return "TEMPO-resist"; }
+
+ private:
+  TempoResistConfig config_;
+  nn::Conv2dPerDepth enc1_;  ///< 1  -> C,  stride 2
+  nn::Conv2dPerDepth enc2_;  ///< C  -> 2C, stride 2
+  nn::ConvTranspose2dPerDepth dec1_;  ///< 2C -> C, stride 2
+  nn::ConvTranspose2dPerDepth dec2_;  ///< C  -> C, stride 2
+  nn::Conv2dPerDepth head_;  ///< C -> 1
+};
+
+}  // namespace sdmpeb::baselines

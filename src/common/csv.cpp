@@ -1,0 +1,73 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdmpeb {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SDMPEB_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  SDMPEB_CHECK_MSG(cells.size() == header_.size(),
+                   "row has " << cells.size() << " cells, header has "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    text.push_back(os.str());
+  }
+  add_row(std::move(text));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_string();
+  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace sdmpeb

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdmpeb {
+
+/// Minimal CSV table writer used by benches to dump the series behind each
+/// reproduced table/figure, so results can be re-plotted outside C++.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void add_row_numeric(const std::vector<double>& cells);
+
+  /// Render the full table (header + rows) as CSV text.
+  std::string to_string() const;
+
+  /// Write to a file; throws sdmpeb::Error on I/O failure.
+  void save(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdmpeb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sdmpeb {
+
+/// Exception type thrown by all SDMPEB_CHECK failures. Distinguishable from
+/// std::logic_error thrown by the standard library so callers can catch
+/// library-contract violations specifically.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace sdmpeb
+
+/// Precondition / invariant check that is always active (not compiled out in
+/// release builds); numerical simulators fail in subtle ways, so contracts
+/// stay on.
+#define SDMPEB_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::sdmpeb::detail::throw_error(__FILE__, __LINE__, #expr, "");   \
+  } while (false)
+
+#define SDMPEB_CHECK_MSG(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::sdmpeb::detail::throw_error(__FILE__, __LINE__, #expr,        \
+                                    os_.str());                       \
+    }                                                                 \
+  } while (false)

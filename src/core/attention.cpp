@@ -1,0 +1,88 @@
+#include "core/attention.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::core {
+
+namespace nnops = nn::ops;
+
+EfficientSpatialSelfAttention::EfficientSpatialSelfAttention(
+    std::int64_t channels, std::int64_t heads, std::int64_t reduction,
+    Rng& rng)
+    : channels_(channels),
+      heads_(heads),
+      reduction_(reduction),
+      q_proj_(channels, channels, rng),
+      kv_reduce_(channels * reduction, channels, rng),
+      k_proj_(channels, channels, rng),
+      v_proj_(channels, channels, rng),
+      // Residual-branch output projection starts small (see SdmUnit).
+      out_proj_(channels, channels, rng, true, 0.1f) {
+  SDMPEB_CHECK(heads >= 1 && reduction >= 1);
+  SDMPEB_CHECK_MSG(channels % heads == 0,
+                   "channels " << channels << " not divisible by heads "
+                               << heads);
+  register_module(q_proj_);
+  register_module(kv_reduce_);
+  register_module(k_proj_);
+  register_module(v_proj_);
+  register_module(out_proj_);
+}
+
+nn::Value EfficientSpatialSelfAttention::attend_slice(
+    const nn::Value& slice) const {
+  const auto tokens = slice->value().dim(0);
+
+  const auto q = q_proj_.forward(slice);
+
+  nn::Value reduced = slice;
+  if (reduction_ > 1) {
+    SDMPEB_CHECK_MSG(tokens % reduction_ == 0,
+                     "slice tokens " << tokens
+                                     << " not divisible by reduction "
+                                     << reduction_);
+    reduced = kv_reduce_.forward(nnops::reshape(
+        slice, Shape{tokens / reduction_, channels_ * reduction_}));
+  }
+  const auto k = k_proj_.forward(reduced);
+  const auto v = v_proj_.forward(reduced);
+
+  const auto head_dim = channels_ / heads_;
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::vector<nn::Value> head_outputs;
+  head_outputs.reserve(static_cast<std::size_t>(heads_));
+  for (std::int64_t h = 0; h < heads_; ++h) {
+    const auto qh = nnops::narrow_cols(q, h * head_dim, head_dim);
+    const auto kh = nnops::narrow_cols(k, h * head_dim, head_dim);
+    const auto vh = nnops::narrow_cols(v, h * head_dim, head_dim);
+    const auto scores =
+        nnops::mul_scalar(nnops::matmul(qh, kh, false, true), scale);
+    const auto attn = nnops::softmax_rows(scores);
+    head_outputs.push_back(nnops::matmul(attn, vh));
+  }
+  const auto merged = heads_ == 1 ? head_outputs.front()
+                                  : nnops::concat_cols(head_outputs);
+  return out_proj_.forward(merged);
+}
+
+nn::Value EfficientSpatialSelfAttention::forward(const nn::Value& x,
+                                                 std::int64_t depth,
+                                                 std::int64_t height,
+                                                 std::int64_t width) const {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  const auto plane = height * width;
+  SDMPEB_CHECK(x->value().dim(0) == depth * plane);
+  SDMPEB_CHECK(x->value().dim(1) == channels_);
+
+  std::vector<nn::Value> slices;
+  slices.reserve(static_cast<std::size_t>(depth));
+  for (std::int64_t d = 0; d < depth; ++d)
+    slices.push_back(
+        attend_slice(nnops::narrow_rows(x, d * plane, plane)));
+  return depth == 1 ? slices.front() : nnops::concat_rows(slices);
+}
+
+}  // namespace sdmpeb::core

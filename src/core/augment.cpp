@@ -1,0 +1,82 @@
+#include "core/augment.hpp"
+
+#include "common/error.hpp"
+
+namespace sdmpeb::core {
+
+Tensor apply_dihedral(const Tensor& volume, Dihedral transform) {
+  SDMPEB_CHECK(volume.rank() == 3);
+  const auto depth = volume.dim(0);
+  const auto height = volume.dim(1);
+  const auto width = volume.dim(2);
+  const bool swaps_axes =
+      transform == Dihedral::kRot90 || transform == Dihedral::kRot270 ||
+      transform == Dihedral::kTranspose ||
+      transform == Dihedral::kAntiTranspose;
+  SDMPEB_CHECK_MSG(!swaps_axes || height == width,
+                   "axis-swapping dihedral transforms need square slices");
+
+  Tensor out(volume.shape());
+  for (std::int64_t d = 0; d < depth; ++d) {
+    for (std::int64_t h = 0; h < height; ++h) {
+      for (std::int64_t w = 0; w < width; ++w) {
+        std::int64_t sh = h;
+        std::int64_t sw = w;
+        switch (transform) {
+          case Dihedral::kIdentity: break;
+          case Dihedral::kRot90:  // out(h, w) = in(W-1-w, h)
+            sh = width - 1 - w;
+            sw = h;
+            break;
+          case Dihedral::kRot180:
+            sh = height - 1 - h;
+            sw = width - 1 - w;
+            break;
+          case Dihedral::kRot270:  // out(h, w) = in(w, H-1-h)
+            sh = w;
+            sw = height - 1 - h;
+            break;
+          case Dihedral::kFlipH: sh = height - 1 - h; break;
+          case Dihedral::kFlipW: sw = width - 1 - w; break;
+          case Dihedral::kTranspose:
+            sh = w;
+            sw = h;
+            break;
+          case Dihedral::kAntiTranspose:
+            sh = width - 1 - w;
+            sw = height - 1 - h;
+            break;
+        }
+        out.at(d, h, w) = volume.at(d, sh, sw);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TrainSample> augment_dihedral(
+    const std::vector<TrainSample>& samples,
+    const std::vector<Dihedral>& extra) {
+  std::vector<TrainSample> out;
+  out.reserve(samples.size() * (1 + extra.size()));
+  for (const auto& sample : samples) {
+    out.push_back(sample);
+    for (const auto transform : extra) {
+      if (transform == Dihedral::kIdentity) continue;
+      out.push_back({apply_dihedral(sample.acid, transform),
+                     apply_dihedral(sample.label, transform)});
+    }
+  }
+  return out;
+}
+
+std::vector<TrainSample> augment_dihedral_full(
+    const std::vector<TrainSample>& samples) {
+  return augment_dihedral(
+      samples,
+      {Dihedral::kRot90, Dihedral::kRot180, Dihedral::kRot270,
+       Dihedral::kFlipH, Dihedral::kFlipW, Dihedral::kTranspose,
+       Dihedral::kAntiTranspose});
+}
+
+}  // namespace sdmpeb::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/trainer.hpp"
+
+namespace sdmpeb::core {
+
+/// Dihedral data augmentation for PEB training volumes. The physics is
+/// equivariant under the lateral symmetries of the square (the PDEs of
+/// Eqs. 1–3 have isotropic lateral diffusion, and the x/y boundary
+/// conditions match), so any of the 8 dihedral transforms of an
+/// (acid, label) pair is another valid sample. The depth axis is NOT
+/// symmetric (Robin top vs zero-flux bottom) and is never flipped.
+enum class Dihedral {
+  kIdentity,
+  kRot90,
+  kRot180,
+  kRot270,
+  kFlipH,          ///< mirror across the horizontal axis (h -> H-1-h)
+  kFlipW,          ///< mirror across the vertical axis (w -> W-1-w)
+  kTranspose,      ///< (h, w) -> (w, h)
+  kAntiTranspose,  ///< (h, w) -> (W-1-w, H-1-h)
+};
+
+/// Apply one dihedral transform to every depth slice of a (D, H, W) volume.
+/// Rotations/transposes require H == W.
+Tensor apply_dihedral(const Tensor& volume, Dihedral transform);
+
+/// Expand a training set with the selected transforms (identity excluded
+/// from `extra` is fine — the original samples are always kept).
+std::vector<TrainSample> augment_dihedral(
+    const std::vector<TrainSample>& samples,
+    const std::vector<Dihedral>& extra);
+
+/// Convenience: all 8 dihedral variants of every sample.
+std::vector<TrainSample> augment_dihedral_full(
+    const std::vector<TrainSample>& samples);
+
+}  // namespace sdmpeb::core

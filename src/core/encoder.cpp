@@ -1,0 +1,70 @@
+#include "core/encoder.hpp"
+
+#include "common/error.hpp"
+
+namespace sdmpeb::core {
+
+namespace nnops = nn::ops;
+
+namespace {
+
+SdmUnitConfig make_sdm_config(const EncoderStageConfig& config) {
+  SdmUnitConfig sdm;
+  sdm.channels = config.out_channels;
+  sdm.hidden = 2 * config.out_channels;
+  sdm.state_dim = config.sdm_state_dim;
+  sdm.directions = config.scan_directions;
+  return sdm;
+}
+
+}  // namespace
+
+EncoderStage::EncoderStage(const EncoderStageConfig& config, Rng& rng)
+    : config_(config),
+      patch_embed_(config.in_channels, config.out_channels,
+                   config.patch_kernel, config.patch_stride,
+                   config.patch_kernel / 2, rng),
+      norm_attn_(config.out_channels),
+      attention_(config.out_channels, config.attn_heads,
+                 config.attn_reduction, rng),
+      norm_ffn_(config.out_channels),
+      ffn_(config.out_channels, config.mlp_ratio * config.out_channels,
+           config.out_channels, rng),
+      norm_sdm_(config.out_channels),
+      sdm_(make_sdm_config(config), rng),
+      refine_(config.out_channels, 3, 1, rng) {
+  register_module(patch_embed_);
+  register_module(norm_attn_);
+  register_module(attention_);
+  register_module(norm_ffn_);
+  register_module(ffn_);
+  register_module(norm_sdm_);
+  register_module(sdm_);
+  register_module(refine_);
+}
+
+nn::Value EncoderStage::forward(const nn::Value& x) const {
+  SDMPEB_CHECK(x->value().rank() == 4);
+  SDMPEB_CHECK(x->value().dim(0) == config_.in_channels);
+
+  const auto feat = patch_embed_.forward(x);
+  const auto channels = feat->value().dim(0);
+  const auto depth = feat->value().dim(1);
+  const auto height = feat->value().dim(2);
+  const auto width = feat->value().dim(3);
+
+  auto seq = nnops::to_sequence(feat);
+  seq = nnops::add(
+      seq, attention_.forward(norm_attn_.forward(seq), depth, height, width));
+  seq = nnops::add(seq, ffn_.forward(norm_ffn_.forward(seq)));
+
+  const auto sdm_out =
+      sdm_.forward(norm_sdm_.forward(seq), depth, height, width);
+  const auto refined = refine_.forward(
+      nnops::to_feature(sdm_out, channels, depth, height, width));
+  seq = nnops::add(seq, nnops::to_sequence(refined));
+
+  return nnops::to_feature(seq, channels, depth, height, width);
+}
+
+}  // namespace sdmpeb::core

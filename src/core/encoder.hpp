@@ -1,0 +1,51 @@
+#pragma once
+
+#include "core/attention.hpp"
+#include "core/sdm_unit.hpp"
+#include "nn/layers.hpp"
+
+namespace sdmpeb::core {
+
+/// Configuration of one hierarchical encoder stage.
+struct EncoderStageConfig {
+  std::int64_t in_channels = 1;
+  std::int64_t out_channels = 16;
+  std::int64_t patch_kernel = 7;  ///< overlapped patch embed/merge kernel
+  std::int64_t patch_stride = 4;  ///< lateral downsample factor of the stage
+  std::int64_t attn_heads = 1;
+  std::int64_t attn_reduction = 16;  ///< Eq. 15 sequence-reduction ratio r
+  std::int64_t mlp_ratio = 2;
+  std::int64_t sdm_state_dim = 8;
+  ScanDirections scan_directions = ScanDirections::kSpatialDepthwise;
+};
+
+/// One encoder stage of Fig. 2: depthwise-overlapped patch merging
+/// (lateral downsample, depth retained), then a block of
+///   x += ESA(LN(x))       — efficient spatial self-attention per depth slice
+///   x += FFN(LN(x))       — per-token MLP
+///   x += DWConv3D(SDM(LN(x))) — spatial-depthwise Mamba attention + 3x3x3
+///                               depthwise refinement (Fig. 5a)
+class EncoderStage : public nn::Module {
+ public:
+  EncoderStage(const EncoderStageConfig& config, Rng& rng);
+
+  /// x: (Cin, D, H, W) -> (Cout, D, H / stride, W / stride) for kernel
+  /// k = 2 * pad + stride configurations (pad = k / 2 keeps the overlap
+  /// symmetric; H must be divisible by the stride).
+  nn::Value forward(const nn::Value& x) const;
+
+  const EncoderStageConfig& config() const { return config_; }
+
+ private:
+  EncoderStageConfig config_;
+  nn::Conv2dPerDepth patch_embed_;
+  nn::LayerNorm norm_attn_;
+  EfficientSpatialSelfAttention attention_;
+  nn::LayerNorm norm_ffn_;
+  nn::Mlp ffn_;
+  nn::LayerNorm norm_sdm_;
+  SdmUnit sdm_;
+  nn::DWConv3d refine_;
+};
+
+}  // namespace sdmpeb::core

@@ -1,0 +1,43 @@
+#include "core/label_transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::core {
+
+double LabelTransform::to_label(double inhibitor) const {
+  SDMPEB_CHECK(kc > 0.0);
+  SDMPEB_CHECK(scale != 0.0);
+  const double clamped =
+      std::clamp(inhibitor, clamp_eps, 1.0 - clamp_eps);
+  return (-std::log(-std::log(clamped) / kc) - offset) * scale;
+}
+
+double LabelTransform::to_inhibitor(double label) const {
+  SDMPEB_CHECK(kc > 0.0);
+  SDMPEB_CHECK(scale != 0.0);
+  const double y = label / scale + offset;
+  return std::exp(-kc * std::exp(-y));
+}
+
+Tensor LabelTransform::to_label(const Grid3& inhibitor) const {
+  Tensor out(Shape{inhibitor.depth(), inhibitor.height(), inhibitor.width()});
+  const auto in = inhibitor.data();
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[static_cast<std::int64_t>(i)] = static_cast<float>(to_label(in[i]));
+  return out;
+}
+
+Grid3 LabelTransform::to_inhibitor(const Tensor& label) const {
+  SDMPEB_CHECK(label.rank() == 3);
+  Grid3 out(label.dim(0), label.dim(1), label.dim(2));
+  auto dst = out.data();
+  for (std::int64_t i = 0; i < label.numel(); ++i)
+    dst[static_cast<std::size_t>(i)] =
+        to_inhibitor(static_cast<double>(label[i]));
+  return out;
+}
+
+}  // namespace sdmpeb::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "tensor/grid3.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::core {
+
+/// The quadratic negative-logarithmic label normalisation from DeePEB [15],
+/// adopted by the paper (§III-D): models predict
+///   Y = -ln(-ln([I]) / kc)
+/// instead of the raw inhibitor concentration, linearising the exponential
+/// catalytic decay of Eq. (1). The inverse is I = exp(-kc * exp(-Y)).
+/// Inhibitor values are clamped to [clamp_eps, 1 - clamp_eps] before the
+/// transform ([I] = 1 exactly would map to +infinity).
+/// An optional affine standardisation (offset/scale) maps the label range
+/// into O(1) territory for CPU-scale trainings; it is exactly inverted by
+/// to_inhibitor, so all physical-space metrics are unaffected. Defaults are
+/// the paper-faithful identity.
+struct LabelTransform {
+  double kc = 0.9;
+  double clamp_eps = 1e-6;
+  double offset = 0.0;  ///< subtracted after the log transform
+  double scale = 1.0;   ///< multiplied after the offset
+
+  double to_label(double inhibitor) const;
+  double to_inhibitor(double label) const;
+
+  /// Elementwise volume versions used by the dataset builder / evaluators.
+  Tensor to_label(const Grid3& inhibitor) const;
+  Grid3 to_inhibitor(const Tensor& label) const;
+};
+
+}  // namespace sdmpeb::core

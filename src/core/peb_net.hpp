@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace sdmpeb::core {
+
+/// Common interface of every learned PEB surrogate in this repository
+/// (SDM-PEB and the four baselines of Table II). Input is the initial
+/// photoacid volume as a (1, D, H, W) feature map; output is the predicted
+/// label volume Y (D, H, W) in the transformed space of LabelTransform.
+class PebNet : public nn::Module {
+ public:
+  virtual nn::Value forward(const nn::Value& acid) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sdmpeb::core

@@ -1,0 +1,175 @@
+#include "core/sdm_peb_model.hpp"
+
+#include "common/error.hpp"
+
+namespace sdmpeb::core {
+
+namespace nnops = nn::ops;
+
+SdmPebConfig SdmPebConfig::default_scale() { return SdmPebConfig{}; }
+
+SdmPebConfig SdmPebConfig::paper_scale() {
+  SdmPebConfig config;
+  config.stage_channels = {64, 128, 320, 512};
+  config.patch_kernels = {15, 3, 3, 3};
+  config.patch_strides = {8, 2, 2, 2};
+  config.attn_heads = {1, 2, 5, 8};
+  config.attn_reductions = {64, 16, 4, 1};
+  config.fusion_dim = 768;
+  return config;
+}
+
+SdmPebConfig SdmPebConfig::tiny() {
+  SdmPebConfig config;
+  config.stage_channels = {8, 12};
+  config.patch_kernels = {3, 3};
+  config.patch_strides = {2, 2};
+  config.attn_heads = {1, 1};
+  config.attn_reductions = {4, 1};
+  config.sdm_state_dim = 4;
+  config.fusion_dim = 16;
+  return config;
+}
+
+std::int64_t SdmPebConfig::cumulative_stride(std::size_t stage) const {
+  SDMPEB_CHECK(stage < patch_strides.size());
+  std::int64_t total = 1;
+  for (std::size_t i = 0; i <= stage; ++i) total *= patch_strides[i];
+  return total;
+}
+
+void SdmPebConfig::validate() const {
+  const auto stages = stage_channels.size();
+  SDMPEB_CHECK_MSG(stages >= 1, "need at least one encoder stage");
+  SDMPEB_CHECK(patch_kernels.size() == stages &&
+               patch_strides.size() == stages &&
+               attn_heads.size() == stages &&
+               attn_reductions.size() == stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    SDMPEB_CHECK(stage_channels[i] > 0);
+    SDMPEB_CHECK(patch_strides[i] >= 1 && patch_kernels[i] >= 1);
+    SDMPEB_CHECK(attn_heads[i] >= 1 && attn_reductions[i] >= 1);
+    SDMPEB_CHECK(stage_channels[i] % attn_heads[i] == 0);
+  }
+  // The decoder rebuilds the stage-1 resolution with power-of-two strides.
+  const auto s1 = patch_strides[0];
+  SDMPEB_CHECK_MSG((s1 & (s1 - 1)) == 0,
+                   "stage-1 stride must be a power of two, got " << s1);
+  SDMPEB_CHECK_MSG(s1 <= 8, "decoder has 3 layers; stage-1 stride " << s1
+                            << " > 8 cannot be undone");
+  SDMPEB_CHECK(fusion_dim >= 4 && fusion_dim % 4 == 0);
+}
+
+SdmPebModel::SdmPebModel(SdmPebConfig config, Rng& rng)
+    : config_(std::move(config)),
+      stem_(1, config_.stem_kernel, config_.stem_kernel / 2, rng) {
+  config_.validate();
+  register_module(stem_);
+
+  std::int64_t in_channels = 1;
+  for (std::size_t i = 0; i < config_.stage_count(); ++i) {
+    EncoderStageConfig stage;
+    stage.in_channels = in_channels;
+    stage.out_channels = config_.stage_channels[i];
+    stage.patch_kernel = config_.patch_kernels[i];
+    stage.patch_stride = config_.patch_strides[i];
+    stage.attn_heads = config_.attn_heads[i];
+    stage.attn_reduction = config_.attn_reductions[i];
+    stage.mlp_ratio = config_.mlp_ratio;
+    stage.sdm_state_dim = config_.sdm_state_dim;
+    stage.scan_directions = config_.scan_directions;
+    stages_.push_back(std::make_unique<EncoderStage>(stage, rng));
+    register_module(*stages_.back());
+    in_channels = stage.out_channels;
+  }
+
+  std::int64_t fused_channels = 0;
+  if (config_.single_stage) {
+    fused_channels = config_.stage_channels[0];
+  } else {
+    for (auto c : config_.stage_channels) fused_channels += c;
+  }
+  fusion_mlp_ = std::make_unique<nn::Mlp>(fused_channels, config_.fusion_dim,
+                                          config_.fusion_dim, rng);
+  register_module(*fusion_mlp_);
+
+  // Decompose the stage-1 stride into three transpose-conv strides
+  // (power-of-two factors, padded with identity layers).
+  std::int64_t remaining = config_.patch_strides[0];
+  std::vector<std::int64_t> strides;
+  while (remaining > 1) {
+    strides.push_back(2);
+    remaining /= 2;
+  }
+  while (strides.size() < 3) strides.push_back(1);
+
+  std::int64_t channels = config_.fusion_dim;
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    const auto out_channels = std::max<std::int64_t>(channels / 2, 4);
+    const auto kernel = strides[i] == 2 ? 4 : 3;
+    decoder_.push_back(std::make_unique<nn::ConvTranspose2dPerDepth>(
+        channels, out_channels, kernel, strides[i], 1, rng));
+    register_module(*decoder_.back());
+    channels = out_channels;
+  }
+  head_ = std::make_unique<nn::Conv2dPerDepth>(channels, 1, 3, 1, 1, rng);
+  register_module(*head_);
+}
+
+nn::Value SdmPebModel::forward(const nn::Value& acid) const {
+  SDMPEB_CHECK(acid->value().rank() == 4);
+  SDMPEB_CHECK_MSG(acid->value().dim(0) == 1,
+                   "expected a single-channel photoacid volume");
+  const auto depth = acid->value().dim(1);
+  const auto height = acid->value().dim(2);
+  const auto width = acid->value().dim(3);
+  SDMPEB_CHECK_MSG(
+      height % cumulative_stride_check() == 0 &&
+          width % cumulative_stride_check() == 0,
+      "lateral dims " << height << "x" << width
+                      << " not divisible by total encoder stride");
+
+  auto current = stem_.forward(acid);
+
+  std::vector<nn::Value> features;
+  for (const auto& stage : stages_) {
+    current = stage->forward(current);
+    features.push_back(current);
+  }
+
+  // Feature fusion at stage-1 resolution (Fig. 2): upsample deeper stages,
+  // concat along channels, per-token MLP.
+  const auto base_height = features.front()->value().dim(2);
+  const auto base_width = features.front()->value().dim(3);
+  std::vector<nn::Value> pyramid;
+  const std::size_t used_stages =
+      config_.single_stage ? 1 : features.size();
+  for (std::size_t i = 0; i < used_stages; ++i) {
+    const auto factor = base_height / features[i]->value().dim(2);
+    SDMPEB_CHECK(factor * features[i]->value().dim(2) == base_height &&
+                 factor * features[i]->value().dim(3) == base_width);
+    pyramid.push_back(
+        factor == 1 ? features[i]
+                    : nnops::upsample_nearest_per_depth(features[i], factor));
+  }
+  const auto fused_map =
+      pyramid.size() == 1 ? pyramid.front() : nnops::concat_channels(pyramid);
+  auto seq = nnops::to_sequence(fused_map);
+  seq = fusion_mlp_->forward(seq);
+  auto decoded = nnops::to_feature(seq, config_.fusion_dim, depth,
+                                   base_height, base_width);
+
+  for (std::size_t i = 0; i < decoder_.size(); ++i) {
+    decoded = decoder_[i]->forward(decoded);
+    if (i + 1 < decoder_.size()) decoded = nnops::leaky_relu(decoded, 0.1f);
+  }
+  const auto out = head_->forward(decoded);
+  SDMPEB_CHECK(out->value().dim(2) == height && out->value().dim(3) == width);
+  return nnops::reshape(out, Shape{depth, height, width});
+}
+
+std::int64_t SdmPebModel::cumulative_stride_check() const {
+  return config_.cumulative_stride(config_.stage_count() - 1);
+}
+
+}  // namespace sdmpeb::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace sdmpeb::core {
+
+/// Which selective-scan directions the SDM unit runs (Fig. 5b). The 2-D
+/// setting (depth-forward + depth-backward only) is the Table III "2-D Scan"
+/// ablation adapted from Vision Mamba [24]; the full unit adds the spatial
+/// scan that traverses all depth layers at a fixed lateral position.
+enum class ScanDirections {
+  kDepthForwardBackward,  ///< 2-direction ablation
+  kSpatialDepthwise,      ///< full 3-direction SDM scan
+};
+
+struct SdmUnitConfig {
+  std::int64_t channels = 32;       ///< encoder feature width C_i
+  std::int64_t hidden = 64;         ///< inner SSM width C_h (expansion 2x)
+  std::int64_t state_dim = 8;       ///< SSM state size N
+  std::int64_t conv_kernel = 3;     ///< per-direction Conv1D kernel
+  ScanDirections directions = ScanDirections::kSpatialDepthwise;
+};
+
+/// Spatial-depthwise Mamba-based attention unit (§III-C, Fig. 5a).
+/// The normalised sequence is projected to x and z; each scan direction owns
+/// a Conv1D + SiLU, input-dependent B, C, Δ projections (Eqs. 10–11) and its
+/// own A, D parameters; the direction outputs are summed, gated by SiLU(z)
+/// and projected back to the encoder width.
+class SdmUnit : public nn::Module {
+ public:
+  SdmUnit(const SdmUnitConfig& config, Rng& rng);
+
+  /// x: (D·H·W, C) depth-major sequence. Returns the same shape.
+  nn::Value forward(const nn::Value& x, std::int64_t depth,
+                    std::int64_t height, std::int64_t width) const;
+
+  const SdmUnitConfig& config() const { return config_; }
+
+ private:
+  /// Per-direction selective-scan branch.
+  class DirectionBranch : public nn::Module {
+   public:
+    DirectionBranch(const SdmUnitConfig& config, Rng& rng);
+    /// xd: direction-ordered (L, Ch) sequence.
+    nn::Value scan(const nn::Value& xd) const;
+
+   private:
+    nn::DWConv1dSeq conv_;
+    nn::Linear b_proj_;
+    nn::Linear c_proj_;
+    nn::Linear delta_proj_;  ///< Linear(Ch -> 1) of Eq. 11
+    nn::Value delta_bias_;   ///< (1, Ch), the D constant of Eq. 11
+    nn::Value a_log_;        ///< (Ch, N); A = -exp(a_log)
+    nn::Value d_skip_;       ///< (Ch)
+  };
+
+  SdmUnitConfig config_;
+  nn::Linear x_proj_;
+  nn::Linear z_proj_;
+  nn::Linear out_proj_;
+  std::vector<std::unique_ptr<DirectionBranch>> branches_;
+};
+
+}  // namespace sdmpeb::core

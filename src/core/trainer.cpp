@@ -1,0 +1,83 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::core {
+
+namespace nnops = nn::ops;
+
+double train_model(PebNet& model, std::span<const TrainSample> data,
+                   const TrainConfig& config, Rng& rng) {
+  SDMPEB_CHECK(!data.empty());
+  SDMPEB_CHECK(config.epochs >= 1 && config.accumulation >= 1);
+
+  nn::Adam::Options adam_options;
+  adam_options.lr = config.lr0;
+  adam_options.grad_clip_norm = config.grad_clip_norm;
+  adam_options.weight_decay = config.weight_decay;
+  nn::Adam optimizer(model.parameters(), adam_options);
+  const nn::StepDecaySchedule schedule(config.lr0, config.lr_step,
+                                       config.lr_gamma);
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double last_epoch_loss = 0.0;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.set_lr(schedule.lr_at(epoch));
+    // Fisher–Yates shuffle driven by the caller's rng for reproducibility.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+
+    double epoch_loss = 0.0;
+    std::int64_t accumulated = 0;
+    model.zero_grad();
+    for (const auto sample_index : order) {
+      const auto& sample = data[sample_index];
+      SDMPEB_CHECK(sample.acid.rank() == 3 &&
+                   sample.acid.shape() == sample.label.shape());
+      const auto acid = nn::constant(sample.acid.reshaped(
+          Shape{1, sample.acid.dim(0), sample.acid.dim(1),
+                sample.acid.dim(2)}));
+      const auto target = nn::constant(sample.label);
+      const auto pred = model.forward(acid);
+      auto loss = combined_loss(pred, target, config.loss);
+      // Scale so the accumulated gradient is the mean over the mini-batch.
+      loss = nnops::mul_scalar(
+          loss, 1.0f / static_cast<float>(config.accumulation));
+      nn::backward(loss);
+      epoch_loss += static_cast<double>(loss->value()[0]) *
+                    config.accumulation;
+      if (++accumulated == config.accumulation) {
+        optimizer.step();
+        model.zero_grad();
+        accumulated = 0;
+      }
+    }
+    if (accumulated > 0) {
+      optimizer.step();
+      model.zero_grad();
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(data.size());
+    if (config.verbose)
+      std::printf("[%s] epoch %3lld  loss %.6f  lr %.5f\n",
+                  model.name().c_str(), static_cast<long long>(epoch),
+                  last_epoch_loss, optimizer.lr());
+  }
+  return last_epoch_loss;
+}
+
+Tensor predict(const PebNet& model, const Tensor& acid) {
+  SDMPEB_CHECK(acid.rank() == 3);
+  const auto input = nn::constant(
+      acid.reshaped(Shape{1, acid.dim(0), acid.dim(1), acid.dim(2)}));
+  return model.forward(input)->value();
+}
+
+}  // namespace sdmpeb::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/losses.hpp"
+#include "core/peb_net.hpp"
+#include "nn/optim.hpp"
+
+namespace sdmpeb::core {
+
+/// One training example: the initial photoacid volume and the label-space
+/// target Y (both (D, H, W)).
+struct TrainSample {
+  Tensor acid;
+  Tensor label;
+};
+
+/// Training hyper-parameters. The defaults mirror the paper's recipe scaled
+/// to CPU budgets: Adam + step-decay LR + gradient accumulation over
+/// `accumulation` clips before each update (the paper accumulates 8).
+struct TrainConfig {
+  std::int64_t epochs = 20;
+  std::int64_t accumulation = 4;
+  float lr0 = 3e-3f;
+  std::int64_t lr_step = 100;
+  float lr_gamma = 0.7f;
+  float grad_clip_norm = 1.0f;
+  float weight_decay = 0.0f;
+  LossConfig loss;
+  bool verbose = false;
+};
+
+/// Train a surrogate in place; returns the average loss of the last epoch.
+/// Deterministic for a fixed rng state (it drives the per-epoch shuffle).
+double train_model(PebNet& model, std::span<const TrainSample> data,
+                   const TrainConfig& config, Rng& rng);
+
+/// Run inference only: (D, H, W) acid volume -> (D, H, W) label prediction.
+Tensor predict(const PebNet& model, const Tensor& acid);
+
+}  // namespace sdmpeb::core

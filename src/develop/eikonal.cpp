@@ -1,0 +1,160 @@
+#include "develop/eikonal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::develop {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double godunov_update(double t_x, double t_y, double t_z, double hx, double hy,
+                      double hz, double slowness) {
+  SDMPEB_CHECK(slowness > 0.0 && hx > 0.0 && hy > 0.0 && hz > 0.0);
+  // Candidate (arrival, spacing) pairs sorted by arrival time.
+  std::array<std::pair<double, double>, 3> cand = {
+      std::pair{t_x, hx}, std::pair{t_y, hy}, std::pair{t_z, hz}};
+  std::sort(cand.begin(), cand.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double solution = kInf;
+  // Try the 1-, 2- and 3-term Godunov quadratics; the valid solution is the
+  // first one not exceeding the next (excluded) neighbour time.
+  double inv_h2_sum = 0.0;  // sum 1/h_i^2
+  double a_over_h2 = 0.0;   // sum a_i/h_i^2
+  double a2_over_h2 = 0.0;  // sum a_i^2/h_i^2
+  for (std::size_t k = 0; k < 3; ++k) {
+    const double a = cand[k].first;
+    const double h = cand[k].second;
+    if (!std::isfinite(a)) break;
+    const double w = 1.0 / (h * h);
+    inv_h2_sum += w;
+    a_over_h2 += a * w;
+    a2_over_h2 += a * a * w;
+    // Quadratic: inv_h2_sum T^2 - 2 a_over_h2 T + a2_over_h2 - s^2 = 0.
+    const double s2 = slowness * slowness;
+    const double disc = a_over_h2 * a_over_h2 -
+                        inv_h2_sum * (a2_over_h2 - s2);
+    if (disc < 0.0) continue;  // over-determined; a larger stencil applies
+    const double t = (a_over_h2 + std::sqrt(disc)) / inv_h2_sum;
+    const bool last = (k == 2) || !std::isfinite(cand[k + 1].first);
+    // Standard Godunov stencil selection: accept the FIRST k whose solution
+    // does not exceed the next (excluded) neighbour — that solution is
+    // causally consistent with exactly the neighbours it uses.
+    if (last || t <= cand[k + 1].first) {
+      solution = t;
+      break;
+    }
+  }
+  return solution;
+}
+
+Grid3 solve_development_front(const Grid3& rate, const EikonalSpacing& spacing,
+                              double convergence_eps_s,
+                              std::int64_t max_sweeps) {
+  SDMPEB_CHECK(spacing.dx_nm > 0.0 && spacing.dy_nm > 0.0 &&
+               spacing.dz_nm > 0.0);
+  const auto depth = rate.depth();
+  const auto height = rate.height();
+  const auto width = rate.width();
+  for (double r : rate.data())
+    SDMPEB_CHECK_MSG(r > 0.0, "development rate must be positive everywhere");
+
+  Grid3 arrival(depth, height, width, kInf);
+
+  const auto flat = [&](std::int64_t d, std::int64_t h, std::int64_t w) {
+    return (d * height + h) * width + w;
+  };
+
+  // Godunov relaxation of one node from its current upwind neighbours.
+  const auto relax = [&](std::int64_t d, std::int64_t h,
+                         std::int64_t w) -> double {
+    const double t_w =
+        std::min(w > 0 ? arrival.at(d, h, w - 1) : kInf,
+                 w + 1 < width ? arrival.at(d, h, w + 1) : kInf);
+    const double t_h =
+        std::min(h > 0 ? arrival.at(d, h - 1, w) : kInf,
+                 h + 1 < height ? arrival.at(d, h + 1, w) : kInf);
+    const double t_d =
+        std::min(d > 0 ? arrival.at(d - 1, h, w) : kInf,
+                 d + 1 < depth ? arrival.at(d + 1, h, w) : kInf);
+    const double slowness = 1.0 / rate.at(d, h, w);
+    return godunov_update(t_w, t_h, t_d, spacing.dx_nm, spacing.dy_nm,
+                          spacing.dz_nm, slowness);
+  };
+
+  std::vector<std::uint8_t> in_list(
+      static_cast<std::size_t>(depth * height * width), 0);
+  std::vector<std::int64_t> active;
+
+  // Seed: developer reaches the whole top surface at t = 0; each top voxel's
+  // arrival is the time to etch through half its own depth.
+  for (std::int64_t h = 0; h < height; ++h) {
+    for (std::int64_t w = 0; w < width; ++w) {
+      arrival.at(0, h, w) = 0.5 * spacing.dz_nm / rate.at(0, h, w);
+      const auto i = flat(0, h, w);
+      active.push_back(i);
+      in_list[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+
+  const auto push_neighbors = [&](std::int64_t d, std::int64_t h,
+                                  std::int64_t w,
+                                  std::vector<std::int64_t>& next) {
+    const std::array<std::array<std::int64_t, 3>, 6> nbs = {{{d - 1, h, w},
+                                                             {d + 1, h, w},
+                                                             {d, h - 1, w},
+                                                             {d, h + 1, w},
+                                                             {d, h, w - 1},
+                                                             {d, h, w + 1}}};
+    for (const auto& nb : nbs) {
+      if (nb[0] < 0 || nb[0] >= depth || nb[1] < 0 || nb[1] >= height ||
+          nb[2] < 0 || nb[2] >= width)
+        continue;
+      const auto i = flat(nb[0], nb[1], nb[2]);
+      if (in_list[static_cast<std::size_t>(i)]) continue;
+      const double updated = relax(nb[0], nb[1], nb[2]);
+      if (updated < arrival.at(nb[0], nb[1], nb[2]) - convergence_eps_s) {
+        arrival.at(nb[0], nb[1], nb[2]) = updated;
+        next.push_back(i);
+        in_list[static_cast<std::size_t>(i)] = 1;
+      }
+    }
+  };
+
+  std::vector<std::int64_t> next;
+  std::int64_t sweep = 0;
+  while (!active.empty()) {
+    SDMPEB_CHECK_MSG(++sweep <= max_sweeps,
+                     "Eikonal FIM failed to converge in " << max_sweeps
+                                                          << " sweeps");
+    next.clear();
+    for (const auto idx : active) {
+      const auto d = idx / (height * width);
+      const auto h = (idx / width) % height;
+      const auto w = idx % width;
+      const double old_t = arrival.at(d, h, w);
+      const double new_t = std::min(old_t, relax(d, h, w));
+      arrival.at(d, h, w) = new_t;
+      if (std::abs(old_t - new_t) <= convergence_eps_s) {
+        // Converged: retire from the list and try to activate neighbours.
+        in_list[static_cast<std::size_t>(idx)] = 0;
+        push_neighbors(d, h, w, next);
+      } else {
+        next.push_back(idx);
+      }
+    }
+    active.swap(next);
+  }
+  return arrival;
+}
+
+}  // namespace sdmpeb::develop

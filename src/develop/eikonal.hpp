@@ -1,0 +1,33 @@
+#pragma once
+
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::develop {
+
+/// Grid spacings for the Eikonal solve, matching the simulation resolution.
+struct EikonalSpacing {
+  double dx_nm = 2.0;  ///< along W
+  double dy_nm = 2.0;  ///< along H
+  double dz_nm = 1.0;  ///< along D
+};
+
+/// Solve |∇T| = 1 / R(x, y, z) for the development-front arrival time T,
+/// with the developer entering through the whole top surface (z = 0). Uses
+/// the fast iterative method of Jeong & Whitaker [31]: an active list of
+/// nodes relaxed with the Godunov upwind update until convergence, which the
+/// paper's development stage also relies on.
+///
+/// `rate` is the local development rate in nm/s (must be > 0 everywhere);
+/// the returned grid holds arrival times in seconds. Top-surface voxels are
+/// seeded with the time to etch through half of their own cell.
+Grid3 solve_development_front(const Grid3& rate, const EikonalSpacing& spacing,
+                              double convergence_eps_s = 1e-6,
+                              std::int64_t max_sweeps = 10000);
+
+/// Single-node Godunov upwind solution given the already-known minimum
+/// neighbour arrival times per axis (use infinity when an axis has no known
+/// neighbour). Exposed for unit testing against hand-computed stencils.
+double godunov_update(double t_x, double t_y, double t_z, double hx, double hy,
+                      double hz, double slowness);
+
+}  // namespace sdmpeb::develop

@@ -1,0 +1,80 @@
+#include "develop/fast_sweeping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::develop {
+
+Grid3 solve_development_front_fsm(const Grid3& rate,
+                                  const EikonalSpacing& spacing,
+                                  double convergence_eps_s,
+                                  std::int64_t max_iterations) {
+  SDMPEB_CHECK(spacing.dx_nm > 0.0 && spacing.dy_nm > 0.0 &&
+               spacing.dz_nm > 0.0);
+  const auto depth = rate.depth();
+  const auto height = rate.height();
+  const auto width = rate.width();
+  for (double r : rate.data())
+    SDMPEB_CHECK_MSG(r > 0.0, "development rate must be positive everywhere");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Grid3 arrival(depth, height, width, kInf);
+  // Top-surface seeds (fixed): time to etch half the first cell.
+  for (std::int64_t h = 0; h < height; ++h)
+    for (std::int64_t w = 0; w < width; ++w)
+      arrival.at(0, h, w) = 0.5 * spacing.dz_nm / rate.at(0, h, w);
+
+  // Seeds are initial values, not fixed points: like the FIM, a slow top
+  // voxel may still be reached faster laterally than by etching through its
+  // own cell, so the top layer participates in relaxation (monotone
+  // decreasing from the seed).
+  const auto relax = [&](std::int64_t d, std::int64_t h, std::int64_t w) {
+    const double t_w =
+        std::min(w > 0 ? arrival.at(d, h, w - 1) : kInf,
+                 w + 1 < width ? arrival.at(d, h, w + 1) : kInf);
+    const double t_h =
+        std::min(h > 0 ? arrival.at(d, h - 1, w) : kInf,
+                 h + 1 < height ? arrival.at(d, h + 1, w) : kInf);
+    const double t_d =
+        std::min(d > 0 ? arrival.at(d - 1, h, w) : kInf,
+                 d + 1 < depth ? arrival.at(d + 1, h, w) : kInf);
+    const double updated =
+        godunov_update(t_w, t_h, t_d, spacing.dx_nm, spacing.dy_nm,
+                       spacing.dz_nm, 1.0 / rate.at(d, h, w));
+    const double old = arrival.at(d, h, w);
+    if (updated < old) {
+      arrival.at(d, h, w) = updated;
+      // First assignment from infinity counts as a large finite change.
+      return std::isfinite(old) ? old - updated : 1e9;
+    }
+    return 0.0;
+  };
+
+  for (std::int64_t iteration = 0; iteration < max_iterations; ++iteration) {
+    double max_change = 0.0;
+    // Eight sweep orderings: every combination of axis directions.
+    for (int sweep = 0; sweep < 8; ++sweep) {
+      const bool d_fwd = (sweep & 1) == 0;
+      const bool h_fwd = (sweep & 2) == 0;
+      const bool w_fwd = (sweep & 4) == 0;
+      for (std::int64_t di = 0; di < depth; ++di) {
+        const auto d = d_fwd ? di : depth - 1 - di;
+        for (std::int64_t hi = 0; hi < height; ++hi) {
+          const auto h = h_fwd ? hi : height - 1 - hi;
+          for (std::int64_t wi = 0; wi < width; ++wi) {
+            const auto w = w_fwd ? wi : width - 1 - wi;
+            max_change = std::max(max_change, relax(d, h, w));
+          }
+        }
+      }
+    }
+    if (max_change <= convergence_eps_s) return arrival;
+  }
+  SDMPEB_CHECK_MSG(false, "fast sweeping failed to converge in "
+                              << max_iterations << " iterations");
+}
+
+}  // namespace sdmpeb::develop

@@ -1,0 +1,40 @@
+#include "develop/mack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::develop {
+
+double MackParams::mack_a() const {
+  return ((reaction_order + 1.0) / (reaction_order - 1.0)) *
+         std::pow(1.0 - m_threshold, reaction_order);
+}
+
+void MackParams::validate() const {
+  SDMPEB_CHECK(r_max_nm_s > r_min_nm_s && r_min_nm_s >= 0.0);
+  SDMPEB_CHECK(m_threshold > 0.0 && m_threshold < 1.0);
+  SDMPEB_CHECK(reaction_order > 1.0);
+  SDMPEB_CHECK(develop_time_s > 0.0);
+}
+
+double mack_rate(double inhibitor, const MackParams& params) {
+  const double m = std::clamp(inhibitor, 0.0, 1.0);
+  const double a = params.mack_a();
+  const double deprotected = std::pow(1.0 - m, params.reaction_order);
+  return params.r_max_nm_s * ((a + 1.0) * deprotected) / (a + deprotected) +
+         params.r_min_nm_s;
+}
+
+Grid3 development_rate(const Grid3& inhibitor, const MackParams& params) {
+  params.validate();
+  Grid3 rate(inhibitor.depth(), inhibitor.height(), inhibitor.width());
+  const auto in = inhibitor.data();
+  auto out = rate.data();
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = mack_rate(in[i], params);
+  return rate;
+}
+
+}  // namespace sdmpeb::develop

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::develop {
+
+/// Mack kinetic development model [29] (Eq. 5). Defaults are Table I's
+/// Develop block. The normalised inhibitor concentration m plays the role of
+/// the unreacted-site fraction: m = 1 (unexposed) develops at ~Rmin, m = 0
+/// (fully deprotected) at ~Rmax.
+struct MackParams {
+  double r_max_nm_s = 40.0;
+  double r_min_nm_s = 0.0003;
+  double m_threshold = 0.5;  ///< M_th
+  double reaction_order = 30.0;  ///< n
+  double develop_time_s = 60.0;
+
+  /// a = ((n + 1) / (n - 1)) * (1 - Mth)^n.
+  double mack_a() const;
+
+  void validate() const;
+};
+
+/// Development rate for a single inhibitor value (clamped into [0, 1]).
+double mack_rate(double inhibitor, const MackParams& params);
+
+/// Apply the rate model voxelwise: inhibitor volume -> rate volume (nm/s).
+Grid3 development_rate(const Grid3& inhibitor, const MackParams& params);
+
+}  // namespace sdmpeb::develop

@@ -1,0 +1,72 @@
+#include "develop/profile.hpp"
+
+#include "common/error.hpp"
+
+namespace sdmpeb::develop {
+
+Grid3 resist_profile(const Grid3& arrival, double develop_time_s) {
+  SDMPEB_CHECK(develop_time_s > 0.0);
+  Grid3 profile(arrival.depth(), arrival.height(), arrival.width());
+  const auto in = arrival.data();
+  auto out = profile.data();
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = (in[i] <= develop_time_s) ? 0.0 : 1.0;
+  return profile;
+}
+
+namespace {
+
+/// Length (in cells) of the cleared run containing `center` along one line.
+/// `get(i)` returns the arrival time at position i in [0, count).
+template <typename Getter>
+std::int64_t cleared_run(std::int64_t center, std::int64_t count,
+                         double develop_time_s, const Getter& get) {
+  if (get(center) > develop_time_s) return 0;
+  std::int64_t lo = center;
+  while (lo > 0 && get(lo - 1) <= develop_time_s) --lo;
+  std::int64_t hi = center;
+  while (hi + 1 < count && get(hi + 1) <= develop_time_s) ++hi;
+  return hi - lo + 1;
+}
+
+}  // namespace
+
+CdMeasurement measure_contact_cd(const Grid3& arrival, double develop_time_s,
+                                 const litho::Contact& contact,
+                                 std::int64_t depth_index, double dx_nm,
+                                 double dy_nm) {
+  SDMPEB_CHECK(depth_index >= 0 && depth_index < arrival.depth());
+  SDMPEB_CHECK(contact.center_h >= 0 && contact.center_h < arrival.height());
+  SDMPEB_CHECK(contact.center_w >= 0 && contact.center_w < arrival.width());
+
+  CdMeasurement m;
+  const auto run_x = cleared_run(
+      contact.center_w, arrival.width(), develop_time_s,
+      [&](std::int64_t w) {
+        return arrival.at(depth_index, contact.center_h, w);
+      });
+  const auto run_y = cleared_run(
+      contact.center_h, arrival.height(), develop_time_s,
+      [&](std::int64_t h) {
+        return arrival.at(depth_index, h, contact.center_w);
+      });
+  m.cd_x_nm = static_cast<double>(run_x) * dx_nm;
+  m.cd_y_nm = static_cast<double>(run_y) * dy_nm;
+  m.resolved = run_x > 0 && run_y > 0;
+  return m;
+}
+
+std::vector<CdMeasurement> measure_clip_cds(const Grid3& arrival,
+                                            double develop_time_s,
+                                            const litho::MaskClip& clip,
+                                            std::int64_t depth_index) {
+  std::vector<CdMeasurement> out;
+  out.reserve(clip.contacts.size());
+  for (const auto& contact : clip.contacts)
+    out.push_back(measure_contact_cd(arrival, develop_time_s, contact,
+                                     depth_index, clip.pixel_nm,
+                                     clip.pixel_nm));
+  return out;
+}
+
+}  // namespace sdmpeb::develop

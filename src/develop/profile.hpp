@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "develop/eikonal.hpp"
+#include "litho/mask.hpp"
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::develop {
+
+/// Binary resist profile after developing for `develop_time_s`: 1 where
+/// resist remains (front arrived later than the develop time), 0 where it
+/// cleared.
+Grid3 resist_profile(const Grid3& arrival, double develop_time_s);
+
+/// CD measured for one contact: the cleared-opening extent through the
+/// contact centre along x and along y, in nm. `resolved` is false when the
+/// contact failed to open at the measurement depth (CD = 0).
+struct CdMeasurement {
+  double cd_x_nm = 0.0;
+  double cd_y_nm = 0.0;
+  bool resolved = false;
+};
+
+/// Measure the printed CD of a contact at a given depth plane. The CD is the
+/// contiguous cleared run (arrival <= develop time) crossing the contact
+/// centre, along the x (width) and y (height) axes.
+CdMeasurement measure_contact_cd(const Grid3& arrival, double develop_time_s,
+                                 const litho::Contact& contact,
+                                 std::int64_t depth_index, double dx_nm,
+                                 double dy_nm);
+
+/// Measure every contact of a clip at one depth plane.
+std::vector<CdMeasurement> measure_clip_cds(const Grid3& arrival,
+                                            double develop_time_s,
+                                            const litho::MaskClip& clip,
+                                            std::int64_t depth_index);
+
+}  // namespace sdmpeb::develop

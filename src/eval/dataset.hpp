@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "core/label_transform.hpp"
+#include "core/trainer.hpp"
+#include "develop/mack.hpp"
+#include "litho/aerial.hpp"
+#include "litho/dill.hpp"
+#include "litho/mask.hpp"
+#include "peb/peb_params.hpp"
+
+namespace sdmpeb::eval {
+
+/// End-to-end dataset generation configuration: mask clips -> aerial image
+/// -> Dill exposure -> rigorous PEB solve -> labels. small() is the CPU
+/// default used across tests and benches: 64x64 lateral (4 nm pixels over a
+/// 256 nm window), 16 depth levels (5 nm) over an 80 nm resist — the same
+/// physics as the paper's Table I on a coarser grid (DESIGN.md §5).
+struct DatasetConfig {
+  litho::MaskGenParams mask;
+  litho::AerialParams aerial;
+  litho::DillParams dill;
+  peb::PebParams peb;
+  develop::MackParams mack;
+  std::int64_t clip_count = 12;
+  std::uint64_t seed = 42;
+  double train_fraction = 0.75;
+
+  static DatasetConfig small();
+  void validate() const;
+};
+
+/// One fully simulated clip: physics ground truth + learning tensors.
+struct ClipSample {
+  litho::MaskClip clip;
+  Grid3 acid0;              ///< rigorous-solver input (network input)
+  Grid3 inhibitor_gt;       ///< rigorous-solver output
+  Tensor acid_tensor;       ///< (D, H, W) float copy of acid0
+  Tensor label_gt;          ///< (D, H, W) Y-space target
+  double rigorous_seconds;  ///< wall clock of the rigorous PEB solve
+};
+
+struct Dataset {
+  std::vector<ClipSample> train;
+  std::vector<ClipSample> test;
+  core::LabelTransform transform;
+  DatasetConfig config;
+
+  /// Mean rigorous-solver runtime across all clips (the "S-Litho" baseline
+  /// of the paper's runtime comparison).
+  double mean_rigorous_seconds() const;
+};
+
+/// Build the dataset deterministically from config.seed.
+Dataset build_dataset(const DatasetConfig& config);
+
+/// Adapter to the trainer's sample type.
+std::vector<core::TrainSample> to_train_samples(
+    const std::vector<ClipSample>& clips);
+
+}  // namespace sdmpeb::eval

@@ -1,0 +1,104 @@
+#include "eval/epe.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::eval {
+
+namespace {
+
+/// Walk outward from the centre along one axis; return the half-extent (in
+/// cells, fractional midpoint between last-cleared and first-blocked).
+template <typename Getter>
+double half_extent(std::int64_t center, std::int64_t count,
+                   double develop_time_s, std::int64_t direction,
+                   const Getter& get) {
+  std::int64_t last_cleared = center;
+  for (std::int64_t i = center + direction; i >= 0 && i < count;
+       i += direction) {
+    if (get(i) > develop_time_s) break;
+    last_cleared = i;
+  }
+  // Edge sits half a cell beyond the last cleared voxel.
+  return static_cast<double>(std::llabs(last_cleared - center)) + 0.5;
+}
+
+}  // namespace
+
+ContactEdges locate_contact_edges(const Grid3& arrival,
+                                  double develop_time_s,
+                                  const litho::Contact& contact,
+                                  std::int64_t depth_index, double dx_nm,
+                                  double dy_nm) {
+  SDMPEB_CHECK(depth_index >= 0 && depth_index < arrival.depth());
+  ContactEdges edges;
+  const auto ch = contact.center_h;
+  const auto cw = contact.center_w;
+  SDMPEB_CHECK(ch >= 0 && ch < arrival.height() && cw >= 0 &&
+               cw < arrival.width());
+  if (arrival.at(depth_index, ch, cw) > develop_time_s) return edges;
+
+  const auto row = [&](std::int64_t w) {
+    return arrival.at(depth_index, ch, w);
+  };
+  const auto col = [&](std::int64_t h) {
+    return arrival.at(depth_index, h, cw);
+  };
+  const double cx = static_cast<double>(cw);
+  const double cy = static_cast<double>(ch);
+  edges.left_nm =
+      (cx - half_extent(cw, arrival.width(), develop_time_s, -1, row)) *
+      dx_nm;
+  edges.right_nm =
+      (cx + half_extent(cw, arrival.width(), develop_time_s, +1, row)) *
+      dx_nm;
+  edges.top_nm =
+      (cy - half_extent(ch, arrival.height(), develop_time_s, -1, col)) *
+      dy_nm;
+  edges.bottom_nm =
+      (cy + half_extent(ch, arrival.height(), develop_time_s, +1, col)) *
+      dy_nm;
+  edges.resolved = true;
+  return edges;
+}
+
+std::vector<EdgePlacement> edge_placement_errors(
+    const Grid3& front_pred, const Grid3& front_ref, double develop_time_s,
+    const litho::MaskClip& clip, std::int64_t depth_index) {
+  SDMPEB_CHECK(front_pred.same_shape(front_ref));
+  std::vector<EdgePlacement> epes;
+  epes.reserve(clip.contacts.size());
+  for (const auto& contact : clip.contacts) {
+    const auto pred =
+        locate_contact_edges(front_pred, develop_time_s, contact,
+                             depth_index, clip.pixel_nm, clip.pixel_nm);
+    const auto ref =
+        locate_contact_edges(front_ref, develop_time_s, contact, depth_index,
+                             clip.pixel_nm, clip.pixel_nm);
+    EdgePlacement epe;
+    epe.resolved = pred.resolved && ref.resolved;
+    if (epe.resolved) {
+      epe.left_nm = pred.left_nm - ref.left_nm;
+      epe.right_nm = pred.right_nm - ref.right_nm;
+      epe.top_nm = pred.top_nm - ref.top_nm;
+      epe.bottom_nm = pred.bottom_nm - ref.bottom_nm;
+    }
+    epes.push_back(epe);
+  }
+  return epes;
+}
+
+double epe_rms_nm(const std::vector<EdgePlacement>& epes) {
+  double acc = 0.0;
+  std::int64_t count = 0;
+  for (const auto& e : epes) {
+    if (!e.resolved) continue;
+    acc += e.left_nm * e.left_nm + e.right_nm * e.right_nm +
+           e.top_nm * e.top_nm + e.bottom_nm * e.bottom_nm;
+    count += 4;
+  }
+  return count == 0 ? 0.0 : std::sqrt(acc / static_cast<double>(count));
+}
+
+}  // namespace sdmpeb::eval

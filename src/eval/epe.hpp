@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "eval/dataset.hpp"
+#include "litho/mask.hpp"
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::eval {
+
+/// Edge-placement error (EPE) — the OPC-style contour metric complementing
+/// the CD columns: for each contact, the signed displacement (in nm) of the
+/// printed contour's four edge crossings (left / right along x through the
+/// centre row, top / bottom along y through the centre column) between a
+/// predicted and a reference development front.
+struct EdgePlacement {
+  double left_nm = 0.0;
+  double right_nm = 0.0;
+  double top_nm = 0.0;
+  double bottom_nm = 0.0;
+  bool resolved = false;  ///< contact printed in BOTH volumes
+};
+
+/// Locate the four edge positions of one contact's printed opening at a
+/// depth plane (cleared = front arrival <= develop time). Positions are in
+/// nm from the clip origin; `resolved` is false when the opening is absent.
+struct ContactEdges {
+  double left_nm = 0.0;
+  double right_nm = 0.0;
+  double top_nm = 0.0;
+  double bottom_nm = 0.0;
+  bool resolved = false;
+};
+
+ContactEdges locate_contact_edges(const Grid3& arrival,
+                                  double develop_time_s,
+                                  const litho::Contact& contact,
+                                  std::int64_t depth_index, double dx_nm,
+                                  double dy_nm);
+
+/// Per-contact EPEs between two fronts; unresolved pairs are skipped.
+std::vector<EdgePlacement> edge_placement_errors(
+    const Grid3& front_pred, const Grid3& front_ref, double develop_time_s,
+    const litho::MaskClip& clip, std::int64_t depth_index);
+
+/// RMS of all edge displacements across a set of EPE records.
+double epe_rms_nm(const std::vector<EdgePlacement>& epes);
+
+}  // namespace sdmpeb::eval

@@ -1,0 +1,90 @@
+#include "eval/harness.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace sdmpeb::eval {
+
+MethodResult evaluate_model(const core::PebNet& model,
+                            const Dataset& dataset) {
+  SDMPEB_CHECK(!dataset.test.empty());
+  MethodResult result;
+  result.name = model.name();
+
+  std::vector<double> all_sq_err_x;
+  std::vector<double> all_sq_err_y;
+  double runtime_total = 0.0;
+  for (const auto& sample : dataset.test) {
+    Timer timer;
+    const Tensor label_pred = core::predict(model, sample.acid_tensor);
+    runtime_total += timer.seconds();
+
+    const Grid3 inhibitor_pred =
+        dataset.transform.to_inhibitor(label_pred);
+    const auto acc = accuracy_metrics(inhibitor_pred, sample.inhibitor_gt,
+                                      dataset.config.mack);
+    result.accuracy.inhibitor_rmse += acc.inhibitor_rmse;
+    result.accuracy.inhibitor_nrmse += acc.inhibitor_nrmse;
+    result.accuracy.rate_rmse += acc.rate_rmse;
+    result.accuracy.rate_nrmse += acc.rate_nrmse;
+
+    const auto cds = compare_cds(inhibitor_pred, sample.inhibitor_gt, sample,
+                                 dataset.config);
+    result.cd_abs_err_x_nm.insert(result.cd_abs_err_x_nm.end(),
+                                  cds.abs_err_x_nm.begin(),
+                                  cds.abs_err_x_nm.end());
+    result.cd_abs_err_y_nm.insert(result.cd_abs_err_y_nm.end(),
+                                  cds.abs_err_y_nm.begin(),
+                                  cds.abs_err_y_nm.end());
+  }
+
+  const auto n = static_cast<double>(dataset.test.size());
+  result.accuracy.inhibitor_rmse /= n;
+  result.accuracy.inhibitor_nrmse /= n;
+  result.accuracy.rate_rmse /= n;
+  result.accuracy.rate_nrmse /= n;
+  result.cd_error_x_nm = cd_rms(result.cd_abs_err_x_nm);
+  result.cd_error_y_nm = cd_rms(result.cd_abs_err_y_nm);
+  result.runtime_seconds = runtime_total / n;
+  return result;
+}
+
+MethodResult train_and_evaluate(core::PebNet& model, const Dataset& dataset,
+                                const core::TrainConfig& train_config,
+                                Rng& rng) {
+  const auto samples = to_train_samples(dataset.train);
+  const double final_loss =
+      core::train_model(model, samples, train_config, rng);
+  auto result = evaluate_model(model, dataset);
+  result.final_train_loss = final_loss;
+  return result;
+}
+
+std::string format_results_table(const std::vector<MethodResult>& results,
+                                 double rigorous_seconds) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %8s %8s %8s\n",
+                "Method", "I-RMSE(e-3)", "I-NRMSE(%)", "R-RMSE", "R-NRMSE(%)",
+                "CDx(nm)", "CDy(nm)", "RT(s)");
+  os << line;
+  for (const auto& r : results) {
+    std::snprintf(line, sizeof(line),
+                  "%-14s %10.3f %10.3f %10.4f %10.3f %8.3f %8.3f %8.4f\n",
+                  r.name.c_str(), r.accuracy.inhibitor_rmse * 1e3,
+                  r.accuracy.inhibitor_nrmse * 100.0, r.accuracy.rate_rmse,
+                  r.accuracy.rate_nrmse * 100.0, r.cd_error_x_nm,
+                  r.cd_error_y_nm, r.runtime_seconds);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%-14s %*s rigorous solve RT = %.3f s\n", "(reference)", 52,
+                "", rigorous_seconds);
+  os << line;
+  return os.str();
+}
+
+}  // namespace sdmpeb::eval

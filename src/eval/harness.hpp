@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/peb_net.hpp"
+#include "core/trainer.hpp"
+#include "eval/dataset.hpp"
+#include "eval/metrics.hpp"
+
+namespace sdmpeb::eval {
+
+/// One row of the paper's Table II: a trained method's accuracy, CD error
+/// and mean inference runtime over the test split.
+struct MethodResult {
+  std::string name;
+  AccuracyMetrics accuracy;           ///< averaged over test clips
+  double cd_error_x_nm = 0.0;         ///< Eq. 14 over all test contacts
+  double cd_error_y_nm = 0.0;
+  double runtime_seconds = 0.0;       ///< mean surrogate inference time
+  double final_train_loss = 0.0;
+  std::vector<double> cd_abs_err_x_nm;  ///< per-contact errors (Fig. 7)
+  std::vector<double> cd_abs_err_y_nm;
+};
+
+/// Evaluate an already trained surrogate on the dataset's test split.
+MethodResult evaluate_model(const core::PebNet& model, const Dataset& dataset);
+
+/// Train then evaluate: the unit of work behind every Table II / III row.
+MethodResult train_and_evaluate(core::PebNet& model, const Dataset& dataset,
+                                const core::TrainConfig& train_config,
+                                Rng& rng);
+
+/// Render results as the paper's Table II layout (fixed-width text table).
+std::string format_results_table(const std::vector<MethodResult>& results,
+                                 double rigorous_seconds);
+
+}  // namespace sdmpeb::eval

@@ -1,0 +1,89 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "develop/eikonal.hpp"
+#include "develop/profile.hpp"
+#include "tensor/stats.hpp"
+
+namespace sdmpeb::eval {
+
+AccuracyMetrics accuracy_metrics(const Grid3& inhibitor_pred,
+                                 const Grid3& inhibitor_gt,
+                                 const develop::MackParams& mack) {
+  SDMPEB_CHECK(inhibitor_pred.same_shape(inhibitor_gt));
+  AccuracyMetrics metrics;
+  metrics.inhibitor_rmse = rmse(inhibitor_pred.data(), inhibitor_gt.data());
+  metrics.inhibitor_nrmse = nrmse(inhibitor_pred.data(), inhibitor_gt.data());
+  const auto rate_pred = develop::development_rate(inhibitor_pred, mack);
+  const auto rate_gt = develop::development_rate(inhibitor_gt, mack);
+  metrics.rate_rmse = rmse(rate_pred.data(), rate_gt.data());
+  metrics.rate_nrmse = nrmse(rate_pred.data(), rate_gt.data());
+  return metrics;
+}
+
+namespace {
+
+Grid3 development_front_of(const Grid3& inhibitor,
+                           const DatasetConfig& config) {
+  const auto rate = develop::development_rate(inhibitor, config.mack);
+  develop::EikonalSpacing spacing;
+  spacing.dx_nm = config.peb.dx_nm;
+  spacing.dy_nm = config.peb.dy_nm;
+  spacing.dz_nm = config.peb.dz_nm;
+  return develop::solve_development_front(rate, spacing);
+}
+
+}  // namespace
+
+CdComparison compare_cds(const Grid3& inhibitor_pred,
+                         const Grid3& inhibitor_gt, const ClipSample& sample,
+                         const DatasetConfig& config) {
+  SDMPEB_CHECK(inhibitor_pred.same_shape(inhibitor_gt));
+  const auto front_pred = development_front_of(inhibitor_pred, config);
+  const auto front_gt = development_front_of(inhibitor_gt, config);
+  const auto bottom = inhibitor_gt.depth() - 1;
+  const double t_dev = config.mack.develop_time_s;
+
+  const auto cds_pred =
+      develop::measure_clip_cds(front_pred, t_dev, sample.clip, bottom);
+  const auto cds_gt =
+      develop::measure_clip_cds(front_gt, t_dev, sample.clip, bottom);
+
+  CdComparison cmp;
+  for (std::size_t i = 0; i < cds_gt.size(); ++i) {
+    // Only contacts that print in the ground truth define CDs; a contact
+    // missing from the prediction contributes its full CD as error.
+    if (!cds_gt[i].resolved) continue;
+    cmp.abs_err_x_nm.push_back(
+        std::abs(cds_pred[i].cd_x_nm - cds_gt[i].cd_x_nm));
+    cmp.abs_err_y_nm.push_back(
+        std::abs(cds_pred[i].cd_y_nm - cds_gt[i].cd_y_nm));
+  }
+  cmp.cd_error_x_nm = cd_rms(cmp.abs_err_x_nm);
+  cmp.cd_error_y_nm = cd_rms(cmp.abs_err_y_nm);
+  return cmp;
+}
+
+double cd_rms(const std::vector<double>& abs_errors_nm) {
+  if (abs_errors_nm.empty()) return 0.0;
+  double acc = 0.0;
+  for (double e : abs_errors_nm) acc += e * e;
+  return std::sqrt(acc / static_cast<double>(abs_errors_nm.size()));
+}
+
+std::vector<double> cd_error_percentages(
+    const std::vector<double>& abs_errors_nm) {
+  std::vector<double> buckets(5, 0.0);
+  if (abs_errors_nm.empty()) return buckets;
+  for (double e : abs_errors_nm) {
+    const auto b = e >= 4.0 ? 4 : static_cast<std::size_t>(e);
+    buckets[b] += 1.0;
+  }
+  for (auto& b : buckets)
+    b *= 100.0 / static_cast<double>(abs_errors_nm.size());
+  return buckets;
+}
+
+}  // namespace sdmpeb::eval

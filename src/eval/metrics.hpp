@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "develop/mack.hpp"
+#include "eval/dataset.hpp"
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::eval {
+
+/// The accuracy columns of the paper's Table II for one prediction:
+/// inhibitor RMSE / NRMSE (Eqs. 12–13 on [I]) and development-rate
+/// RMSE / NRMSE (on the Mack rate volume).
+struct AccuracyMetrics {
+  double inhibitor_rmse = 0.0;
+  double inhibitor_nrmse = 0.0;
+  double rate_rmse = 0.0;
+  double rate_nrmse = 0.0;
+};
+
+/// Compare a predicted inhibitor volume against the ground truth.
+AccuracyMetrics accuracy_metrics(const Grid3& inhibitor_pred,
+                                 const Grid3& inhibitor_gt,
+                                 const develop::MackParams& mack);
+
+/// Per-contact CD comparison between the profiles developed from the
+/// predicted and ground-truth inhibitor volumes (Eq. 14). CDs are measured
+/// at the resist bottom (the layer that defines the printed feature).
+struct CdComparison {
+  std::vector<double> abs_err_x_nm;  ///< |ĈD - CD| per resolved contact
+  std::vector<double> abs_err_y_nm;
+  double cd_error_x_nm = 0.0;  ///< sqrt(mean squared error), Eq. 14
+  double cd_error_y_nm = 0.0;
+};
+
+CdComparison compare_cds(const Grid3& inhibitor_pred,
+                         const Grid3& inhibitor_gt, const ClipSample& sample,
+                         const DatasetConfig& config);
+
+/// Aggregate Eq. 14 over a set of per-contact absolute errors.
+double cd_rms(const std::vector<double>& abs_errors_nm);
+
+/// Bucket |CD errors| into the paper's Fig. 7 ranges
+/// {[0,1), [1,2), [2,3), [3,4), >=4} nm; returns percentages.
+std::vector<double> cd_error_percentages(
+    const std::vector<double>& abs_errors_nm);
+
+}  // namespace sdmpeb::eval

@@ -1,0 +1,94 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::fft {
+
+bool is_power_of_two(std::int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+namespace {
+
+/// Core transform on a scratch vector (contiguous). Normalisation of the
+/// inverse is applied by the callers that own the data layout.
+void fft_core(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& a, bool inverse) {
+  SDMPEB_CHECK_MSG(is_power_of_two(static_cast<std::int64_t>(a.size())),
+                   "FFT size " << a.size() << " is not a power of two");
+  fft_core(a, inverse);
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(a.size());
+    for (auto& v : a) v *= scale;
+  }
+}
+
+void fft_strided(Complex* base, std::int64_t count, std::int64_t stride,
+                 bool inverse) {
+  SDMPEB_CHECK(is_power_of_two(count));
+  SDMPEB_CHECK(stride >= 1);
+  std::vector<Complex> line(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) line[i] = base[i * stride];
+  fft(line, inverse);
+  for (std::int64_t i = 0; i < count; ++i) base[i * stride] = line[i];
+}
+
+void fft3(std::vector<Complex>& grid, std::int64_t depth, std::int64_t height,
+          std::int64_t width, bool inverse) {
+  SDMPEB_CHECK(static_cast<std::int64_t>(grid.size()) ==
+               depth * height * width);
+  // Along W (contiguous lines).
+  for (std::int64_t d = 0; d < depth; ++d)
+    for (std::int64_t h = 0; h < height; ++h)
+      fft_strided(grid.data() + (d * height + h) * width, width, 1, inverse);
+  // Along H.
+  for (std::int64_t d = 0; d < depth; ++d)
+    for (std::int64_t w = 0; w < width; ++w)
+      fft_strided(grid.data() + d * height * width + w, height, width,
+                  inverse);
+  // Along D.
+  for (std::int64_t h = 0; h < height; ++h)
+    for (std::int64_t w = 0; w < width; ++w)
+      fft_strided(grid.data() + h * width + w, depth, height * width, inverse);
+}
+
+void fft2(std::vector<Complex>& grid, std::int64_t height, std::int64_t width,
+          bool inverse) {
+  SDMPEB_CHECK(static_cast<std::int64_t>(grid.size()) == height * width);
+  for (std::int64_t h = 0; h < height; ++h)
+    fft_strided(grid.data() + h * width, width, 1, inverse);
+  for (std::int64_t w = 0; w < width; ++w)
+    fft_strided(grid.data() + w, height, width, inverse);
+}
+
+}  // namespace sdmpeb::fft

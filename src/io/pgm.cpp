@@ -1,0 +1,44 @@
+#include "io/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::io {
+
+void save_pgm(const Tensor& image2d, const std::string& path, float lo,
+              float hi) {
+  SDMPEB_CHECK(image2d.rank() == 2);
+  SDMPEB_CHECK(hi > lo);
+  const auto height = image2d.dim(0);
+  const auto width = image2d.dim(1);
+  std::ofstream out(path, std::ios::binary);
+  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "P5\n" << width << ' ' << height << "\n255\n";
+  for (std::int64_t i = 0; i < image2d.numel(); ++i) {
+    const float t = (image2d[i] - lo) / (hi - lo);
+    const auto byte = static_cast<unsigned char>(
+        std::clamp(t, 0.0f, 1.0f) * 255.0f + 0.5f);
+    out.put(static_cast<char>(byte));
+  }
+  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+Tensor depth_slice(const Grid3& grid, std::int64_t d) {
+  Tensor out(Shape{grid.height(), grid.width()});
+  for (std::int64_t h = 0; h < grid.height(); ++h)
+    for (std::int64_t w = 0; w < grid.width(); ++w)
+      out.at(h, w) = static_cast<float>(grid.at(d, h, w));
+  return out;
+}
+
+Tensor vertical_slice(const Grid3& grid, std::int64_t h) {
+  Tensor out(Shape{grid.depth(), grid.width()});
+  for (std::int64_t d = 0; d < grid.depth(); ++d)
+    for (std::int64_t w = 0; w < grid.width(); ++w)
+      out.at(d, w) = static_cast<float>(grid.at(d, h, w));
+  return out;
+}
+
+}  // namespace sdmpeb::io

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/grid3.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::io {
+
+/// Write a (H, W) slice as an 8-bit binary PGM image, linearly mapping
+/// [lo, hi] -> [0, 255]. Used by the figure benches to dump the top-down and
+/// vertical visualisations of the paper's Figs. 4, 8 and 9.
+void save_pgm(const Tensor& image2d, const std::string& path, float lo,
+              float hi);
+
+/// Extract a depth slice (fixed d) of a Grid3 as an (H, W) tensor.
+Tensor depth_slice(const Grid3& grid, std::int64_t d);
+
+/// Extract a vertical cut (fixed h) of a Grid3 as a (D, W) tensor — the
+/// paper's "vertical visualisation" orientation.
+Tensor vertical_slice(const Grid3& grid, std::int64_t h);
+
+}  // namespace sdmpeb::io

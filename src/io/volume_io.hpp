@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "tensor/grid3.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::io {
+
+/// Save / load a Grid3 as a small self-describing binary file
+/// (magic "SDMV", version, dims as int64, payload as float64 little-endian).
+/// Used to cache rigorous-solver ground truth between bench runs.
+void save_grid(const Grid3& grid, const std::string& path);
+Grid3 load_grid(const std::string& path);
+
+/// Same container for float tensors of arbitrary rank (magic "SDMT").
+void save_tensor(const Tensor& tensor, const std::string& path);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace sdmpeb::io

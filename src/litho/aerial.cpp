@@ -1,0 +1,101 @@
+#include "litho/aerial.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::litho {
+
+namespace {
+
+std::vector<float> gaussian_kernel(double sigma_px) {
+  SDMPEB_CHECK(sigma_px > 0.0);
+  const auto radius =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(3.0 * sigma_px)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double total = 0.0;
+  for (std::int64_t i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (static_cast<double>(i) / sigma_px) *
+                              (static_cast<double>(i) / sigma_px));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    total += v;
+  }
+  for (auto& v : kernel) v = static_cast<float>(v / total);
+  return kernel;
+}
+
+/// 1-D convolution along the given axis of an (H, W) tensor with replicate
+/// boundary handling.
+Tensor convolve_axis(const Tensor& image, const std::vector<float>& kernel,
+                     bool along_rows) {
+  const auto height = image.dim(0);
+  const auto width = image.dim(1);
+  const auto radius = static_cast<std::int64_t>(kernel.size() / 2);
+  Tensor out(image.shape());
+  for (std::int64_t h = 0; h < height; ++h) {
+    for (std::int64_t w = 0; w < width; ++w) {
+      double acc = 0.0;
+      for (std::int64_t k = -radius; k <= radius; ++k) {
+        std::int64_t hh = h;
+        std::int64_t ww = w;
+        if (along_rows)
+          ww = std::clamp<std::int64_t>(w + k, 0, width - 1);
+        else
+          hh = std::clamp<std::int64_t>(h + k, 0, height - 1);
+        acc += static_cast<double>(image.at(hh, ww)) *
+               static_cast<double>(kernel[static_cast<std::size_t>(k + radius)]);
+      }
+      out.at(h, w) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor gaussian_blur2d(const Tensor& image, double sigma_px) {
+  SDMPEB_CHECK(image.rank() == 2);
+  const auto kernel = gaussian_kernel(sigma_px);
+  return convolve_axis(convolve_axis(image, kernel, true), kernel, false);
+}
+
+Grid3 simulate_aerial_image(const MaskClip& mask, const AerialParams& params) {
+  SDMPEB_CHECK(mask.pixels.rank() == 2);
+  SDMPEB_CHECK(params.z_pixel_nm > 0.0);
+  SDMPEB_CHECK(params.resist_thickness_nm >= params.z_pixel_nm);
+
+  const auto depth = static_cast<std::int64_t>(
+      std::lround(params.resist_thickness_nm / params.z_pixel_nm));
+  const auto height = mask.pixels.dim(0);
+  const auto width = mask.pixels.dim(1);
+
+  const double sigma0_nm =
+      params.psf_scale * params.wavelength_nm / params.numerical_aperture;
+  Grid3 aerial(depth, height, width);
+
+  for (std::int64_t d = 0; d < depth; ++d) {
+    const double z_nm = static_cast<double>(d) * params.z_pixel_nm;
+    const double sigma_nm =
+        sigma0_nm * (1.0 + params.defocus_rate_per_nm * z_nm);
+    const double sigma_px = std::max(0.5, sigma_nm / mask.pixel_nm);
+    const Tensor blurred = gaussian_blur2d(mask.pixels, sigma_px);
+
+    double modulation = 1.0;
+    if (params.standing_wave_amplitude > 0.0) {
+      const double period_nm =
+          params.wavelength_nm / (2.0 * params.resist_refractive_index);
+      modulation = 1.0 + params.standing_wave_amplitude *
+                             std::cos(2.0 * M_PI * z_nm / period_nm);
+    }
+    const double attenuation = std::exp(-params.absorption_per_nm * z_nm);
+    const double scale = attenuation * modulation;
+    for (std::int64_t h = 0; h < height; ++h)
+      for (std::int64_t w = 0; w < width; ++w)
+        aerial.at(d, h, w) =
+            scale * static_cast<double>(blurred.at(h, w));
+  }
+  return aerial;
+}
+
+}  // namespace sdmpeb::litho

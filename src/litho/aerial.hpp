@@ -1,0 +1,42 @@
+#pragma once
+
+#include "litho/mask.hpp"
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::litho {
+
+/// Reduced partially-coherent imaging model. The paper uses S-Litho's
+/// rigorous optics (λ = 193 nm, NA = 1.35); here the projection optics are
+/// approximated by an incoherent Gaussian point-spread function whose width
+/// tracks the Rayleigh resolution ~0.61 λ/NA, with depth-dependent defocus
+/// blur, Beer–Lambert absorption through the resist, and an optional
+/// standing-wave modulation (whose smoothing during PEB is the physical
+/// motivation for the bake). This preserves exactly what the learning task
+/// consumes: smooth contact-shaped 3-D intensity blobs.
+struct AerialParams {
+  double wavelength_nm = 193.0;
+  double numerical_aperture = 1.35;
+  /// PSF sigma = psf_scale * wavelength / NA.
+  double psf_scale = 0.35;
+  double resist_thickness_nm = 80.0;
+  double z_pixel_nm = 1.0;
+  /// Beer–Lambert absorption coefficient in 1/nm (intensity decays with z).
+  double absorption_per_nm = 0.004;
+  /// Extra blur per nm of depth: sigma(z) = sigma0 * (1 + defocus_rate * z).
+  double defocus_rate_per_nm = 0.002;
+  /// Standing-wave relative amplitude (0 disables).
+  double standing_wave_amplitude = 0.1;
+  /// Refractive index of the resist (sets standing-wave period λ/2n).
+  double resist_refractive_index = 1.7;
+};
+
+/// Compute the 3-D aerial-image intensity inside the resist, normalised so
+/// the open-frame (fully clear mask) intensity at the top surface is 1.
+/// Output grid is (D, H, W) with D = thickness / z_pixel, z = 0 at the top.
+Grid3 simulate_aerial_image(const MaskClip& mask, const AerialParams& params);
+
+/// Separable Gaussian blur of a 2-D field with zero-gradient (replicate)
+/// boundary handling. Exposed for tests.
+Tensor gaussian_blur2d(const Tensor& image, double sigma_px);
+
+}  // namespace sdmpeb::litho

@@ -1,0 +1,24 @@
+#include "litho/dill.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::litho {
+
+Grid3 exposure_to_photoacid(const Grid3& aerial, const DillParams& params) {
+  SDMPEB_CHECK(params.dill_c > 0.0);
+  SDMPEB_CHECK(params.dose_time_s > 0.0);
+  SDMPEB_CHECK(params.acid_max > 0.0 && params.acid_max <= 1.0);
+  Grid3 acid(aerial.depth(), aerial.height(), aerial.width());
+  const auto in = aerial.data();
+  auto out = acid.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    SDMPEB_CHECK_MSG(in[i] >= 0.0, "negative aerial intensity");
+    out[i] = params.acid_max *
+             (1.0 - std::exp(-params.dill_c * in[i] * params.dose_time_s));
+  }
+  return acid;
+}
+
+}  // namespace sdmpeb::litho

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "tensor/grid3.hpp"
+
+namespace sdmpeb::litho {
+
+/// Dill first-order exposure model [26]: incident intensity decomposes the
+/// photoacid generator, [PAG](t) = [PAG]0 · exp(-C · I · t), so the photoacid
+/// released at the end of exposure is
+///   [A]0 = a_max · (1 - exp(-C · I · dose_time)).
+struct DillParams {
+  double dill_c = 0.05;      ///< Dill C coefficient, 1/(intensity · s)
+  double dose_time_s = 25.0; ///< exposure dose expressed as time at unit intensity
+  double acid_max = 0.9;     ///< maximum releasable photoacid concentration
+};
+
+/// Map a 3-D aerial intensity volume to the initial normalised photoacid
+/// volume — the network input of Problem 1 in the paper.
+Grid3 exposure_to_photoacid(const Grid3& aerial, const DillParams& params);
+
+}  // namespace sdmpeb::litho

@@ -1,0 +1,106 @@
+#include "litho/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::litho {
+
+namespace {
+
+void paint_contact(Tensor& pixels, const Contact& contact) {
+  const auto height = pixels.dim(0);
+  const auto width = pixels.dim(1);
+  const auto h0 = std::max<std::int64_t>(0, contact.center_h - contact.size_h / 2);
+  const auto w0 = std::max<std::int64_t>(0, contact.center_w - contact.size_w / 2);
+  const auto h1 = std::min(height, h0 + contact.size_h);
+  const auto w1 = std::min(width, w0 + contact.size_w);
+  for (std::int64_t h = h0; h < h1; ++h)
+    for (std::int64_t w = w0; w < w1; ++w) pixels.at(h, w) = 1.0f;
+}
+
+}  // namespace
+
+MaskClip generate_contact_clip(const MaskGenParams& params, Rng& rng) {
+  SDMPEB_CHECK(params.height > 0 && params.width > 0);
+  SDMPEB_CHECK(params.pixel_nm > 0.0);
+  SDMPEB_CHECK(params.min_contact_nm <= params.max_contact_nm);
+  SDMPEB_CHECK(params.min_pitch_nm > params.max_contact_nm);
+
+  MaskClip clip;
+  clip.pixel_nm = params.pixel_nm;
+  clip.pixels = Tensor(Shape{params.height, params.width});
+
+  const auto pitch_px = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::lround(params.min_pitch_nm /
+                                               params.pixel_nm)));
+  const auto jitter_px = static_cast<std::int64_t>(
+      std::floor(params.jitter_fraction * static_cast<double>(pitch_px)));
+
+  const auto usable_h = params.height - 2 * params.margin_px;
+  const auto usable_w = params.width - 2 * params.margin_px;
+  SDMPEB_CHECK_MSG(usable_h >= pitch_px && usable_w >= pitch_px,
+                   "clip too small for pitch " << pitch_px << " px");
+
+  const auto rows = usable_h / pitch_px;
+  const auto cols = usable_w / pitch_px;
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (!rng.bernoulli(params.keep_probability)) continue;
+      Contact contact;
+      const double edge_h_nm =
+          rng.uniform(params.min_contact_nm, params.max_contact_nm);
+      const double edge_w_nm =
+          rng.uniform(params.min_contact_nm, params.max_contact_nm);
+      contact.size_h = std::max<std::int64_t>(
+          2, static_cast<std::int64_t>(std::lround(edge_h_nm /
+                                                   params.pixel_nm)));
+      contact.size_w = std::max<std::int64_t>(
+          2, static_cast<std::int64_t>(std::lround(edge_w_nm /
+                                                   params.pixel_nm)));
+      contact.center_h = params.margin_px + r * pitch_px + pitch_px / 2;
+      contact.center_w = params.margin_px + c * pitch_px + pitch_px / 2;
+      if (jitter_px > 0) {
+        contact.center_h += rng.uniform_int(-jitter_px, jitter_px);
+        contact.center_w += rng.uniform_int(-jitter_px, jitter_px);
+      }
+      contact.center_h = std::clamp(contact.center_h, params.margin_px,
+                                    params.height - 1 - params.margin_px);
+      contact.center_w = std::clamp(contact.center_w, params.margin_px,
+                                    params.width - 1 - params.margin_px);
+      paint_contact(clip.pixels, contact);
+      clip.contacts.push_back(contact);
+    }
+  }
+
+  if (clip.contacts.empty()) {
+    // Degenerate draw: force one centred contact so downstream stages always
+    // have something to measure.
+    Contact contact;
+    contact.size_h = contact.size_w = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::lround(params.max_contact_nm /
+                                                 params.pixel_nm)));
+    contact.center_h = params.height / 2;
+    contact.center_w = params.width / 2;
+    paint_contact(clip.pixels, contact);
+    clip.contacts.push_back(contact);
+  }
+  return clip;
+}
+
+std::vector<MaskClip> generate_clips(const MaskGenParams& params,
+                                     std::int64_t count, std::uint64_t seed) {
+  SDMPEB_CHECK(count > 0);
+  Rng master(seed);
+  std::vector<MaskClip> clips;
+  clips.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    Rng child = master.split();
+    clips.push_back(generate_contact_clip(params, child));
+  }
+  return clips;
+}
+
+}  // namespace sdmpeb::litho

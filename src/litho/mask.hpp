@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::litho {
+
+/// Axis-aligned contact opening on the mask, in pixel units.
+struct Contact {
+  std::int64_t center_h = 0;  ///< row of the contact centre
+  std::int64_t center_w = 0;  ///< column of the contact centre
+  std::int64_t size_h = 0;    ///< opening height in pixels
+  std::int64_t size_w = 0;    ///< opening width in pixels
+};
+
+/// A binary mask clip (1 = open / transmitting, 0 = chrome) together with
+/// the list of contacts it contains — the CD-measurement harness needs the
+/// contact positions to know where to measure.
+struct MaskClip {
+  Tensor pixels;  ///< (H, W), values in {0, 1}
+  std::vector<Contact> contacts;
+  double pixel_nm = 2.0;  ///< lateral pixel pitch in nm
+};
+
+/// Parameters of the synthetic contact-layer clip generator. Defaults give
+/// 28 nm-node-flavoured contact arrays: contacts of 40–80 nm on a jittered
+/// grid, mirroring the contact-dominated clips of the paper's dataset [42].
+struct MaskGenParams {
+  std::int64_t height = 64;
+  std::int64_t width = 64;
+  double pixel_nm = 2.0;
+  double min_contact_nm = 12.0;   ///< minimum opening edge
+  double max_contact_nm = 28.0;   ///< maximum opening edge
+  double min_pitch_nm = 40.0;     ///< minimum centre-to-centre spacing
+  double keep_probability = 0.7;  ///< fraction of grid sites populated
+  double jitter_fraction = 0.25;  ///< centre jitter as a fraction of pitch
+  std::int64_t margin_px = 6;     ///< keep-out border so contacts fit fully
+};
+
+/// Generate a random contact-array clip. Deterministic for a given Rng
+/// state. Always produces at least one contact.
+MaskClip generate_contact_clip(const MaskGenParams& params, Rng& rng);
+
+/// Generate a whole dataset of clips from one master seed.
+std::vector<MaskClip> generate_clips(const MaskGenParams& params,
+                                     std::int64_t count, std::uint64_t seed);
+
+}  // namespace sdmpeb::litho

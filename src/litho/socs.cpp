@@ -1,0 +1,71 @@
+#include "litho/socs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::litho {
+
+Grid3 simulate_aerial_image_socs(const MaskClip& mask,
+                                 const SocsParams& params) {
+  SDMPEB_CHECK(mask.pixels.rank() == 2);
+  SDMPEB_CHECK(params.kernel_count >= 1);
+  SDMPEB_CHECK(params.sigma_spread >= 0.0);
+  SDMPEB_CHECK(params.weight_decay > 0.0 && params.weight_decay <= 1.0);
+  const auto& optics = params.optics;
+  SDMPEB_CHECK(optics.z_pixel_nm > 0.0);
+  SDMPEB_CHECK(optics.resist_thickness_nm >= optics.z_pixel_nm);
+
+  const auto depth = static_cast<std::int64_t>(
+      std::lround(optics.resist_thickness_nm / optics.z_pixel_nm));
+  const auto height = mask.pixels.dim(0);
+  const auto width = mask.pixels.dim(1);
+  const double sigma0_nm =
+      optics.psf_scale * optics.wavelength_nm / optics.numerical_aperture;
+
+  // Geometrically decaying kernel weights, normalised to sum to one so the
+  // clear-field intensity is 1 at the top surface.
+  std::vector<double> weights(static_cast<std::size_t>(params.kernel_count));
+  double weight_sum = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = std::pow(params.weight_decay, static_cast<double>(k));
+    weight_sum += weights[k];
+  }
+  for (auto& w : weights) w /= weight_sum;
+
+  Grid3 aerial(depth, height, width);
+  for (std::int64_t d = 0; d < depth; ++d) {
+    const double z_nm = static_cast<double>(d) * optics.z_pixel_nm;
+    const double defocus = 1.0 + optics.defocus_rate_per_nm * z_nm;
+
+    // Incoherent sum of coherent Gaussian systems at this depth.
+    Tensor intensity(Shape{height, width});
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      const double sigma_nm =
+          sigma0_nm * (1.0 + params.sigma_spread * static_cast<double>(k)) *
+          defocus;
+      const double sigma_px = std::max(0.5, sigma_nm / mask.pixel_nm);
+      const Tensor field = gaussian_blur2d(mask.pixels, sigma_px);
+      const auto wk = static_cast<float>(weights[k]);
+      for (std::int64_t i = 0; i < intensity.numel(); ++i)
+        intensity[i] += wk * field[i] * field[i];
+    }
+
+    double modulation = 1.0;
+    if (optics.standing_wave_amplitude > 0.0) {
+      const double period_nm =
+          optics.wavelength_nm / (2.0 * optics.resist_refractive_index);
+      modulation = 1.0 + optics.standing_wave_amplitude *
+                             std::cos(2.0 * M_PI * z_nm / period_nm);
+    }
+    const double scale =
+        std::exp(-optics.absorption_per_nm * z_nm) * modulation;
+    for (std::int64_t h = 0; h < height; ++h)
+      for (std::int64_t w = 0; w < width; ++w)
+        aerial.at(d, h, w) = scale * static_cast<double>(intensity.at(h, w));
+  }
+  return aerial;
+}
+
+}  // namespace sdmpeb::litho

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::nn {
+
+/// Kaiming-uniform init: U(-b, b) with b = sqrt(6 / fan_in). Used by every
+/// conv / linear layer; fan_in is the receptive-field input count.
+inline Tensor kaiming_uniform(Shape shape, std::int64_t fan_in, Rng& rng) {
+  SDMPEB_CHECK(fan_in > 0);
+  const auto bound =
+      static_cast<float>(std::sqrt(6.0 / static_cast<double>(fan_in)));
+  return Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace sdmpeb::nn

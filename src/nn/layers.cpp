@@ -1,0 +1,109 @@
+#include "nn/layers.hpp"
+
+#include "nn/init.hpp"
+
+namespace sdmpeb::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool with_bias, float init_scale) {
+  Tensor w =
+      kaiming_uniform(Shape{in_features, out_features}, in_features, rng);
+  if (init_scale != 1.0f) w *= init_scale;
+  weight_ = register_parameter(std::move(w));
+  if (with_bias)
+    bias_ = register_parameter(Tensor::zeros(Shape{out_features}));
+}
+
+Value Linear::forward(const Value& x) const {
+  return ops::linear(x, weight_, bias_);
+}
+
+LayerNorm::LayerNorm(std::int64_t features) {
+  gamma_ = register_parameter(Tensor::full(Shape{features}, 1.0f));
+  beta_ = register_parameter(Tensor::zeros(Shape{features}));
+}
+
+Value LayerNorm::forward(const Value& x) const {
+  return ops::layer_norm(x, gamma_, beta_);
+}
+
+Conv2dPerDepth::Conv2dPerDepth(std::int64_t in_channels,
+                               std::int64_t out_channels, std::int64_t kernel,
+                               std::int64_t stride, std::int64_t pad,
+                               Rng& rng)
+    : stride_(stride), pad_(pad) {
+  weight_ = register_parameter(
+      kaiming_uniform(Shape{out_channels, in_channels, kernel, kernel},
+                      in_channels * kernel * kernel, rng));
+  bias_ = register_parameter(Tensor::zeros(Shape{out_channels}));
+}
+
+Value Conv2dPerDepth::forward(const Value& x) const {
+  return ops::conv2d_per_depth(x, weight_, bias_, stride_, pad_);
+}
+
+ConvTranspose2dPerDepth::ConvTranspose2dPerDepth(
+    std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+    std::int64_t stride, std::int64_t pad, Rng& rng)
+    : stride_(stride), pad_(pad) {
+  weight_ = register_parameter(
+      kaiming_uniform(Shape{in_channels, out_channels, kernel, kernel},
+                      in_channels * kernel * kernel, rng));
+  bias_ = register_parameter(Tensor::zeros(Shape{out_channels}));
+}
+
+Value ConvTranspose2dPerDepth::forward(const Value& x) const {
+  return ops::conv_transpose2d_per_depth(x, weight_, bias_, stride_, pad_);
+}
+
+Conv3d::Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng)
+    : stride_(stride), pad_(pad) {
+  weight_ = register_parameter(kaiming_uniform(
+      Shape{out_channels, in_channels, kernel, kernel, kernel},
+      in_channels * kernel * kernel * kernel, rng));
+  bias_ = register_parameter(Tensor::zeros(Shape{out_channels}));
+}
+
+Value Conv3d::forward(const Value& x) const {
+  return ops::conv3d(x, weight_, bias_, stride_, pad_);
+}
+
+DWConv3d::DWConv3d(std::int64_t channels, std::int64_t kernel,
+                   std::int64_t pad, Rng& rng)
+    : pad_(pad) {
+  weight_ = register_parameter(
+      kaiming_uniform(Shape{channels, kernel, kernel, kernel},
+                      kernel * kernel * kernel, rng));
+  bias_ = register_parameter(Tensor::zeros(Shape{channels}));
+}
+
+Value DWConv3d::forward(const Value& x) const {
+  return ops::dwconv3d(x, weight_, bias_, pad_);
+}
+
+DWConv1dSeq::DWConv1dSeq(std::int64_t channels, std::int64_t kernel,
+                         Rng& rng) {
+  weight_ =
+      register_parameter(kaiming_uniform(Shape{channels, kernel}, kernel, rng));
+  bias_ = register_parameter(Tensor::zeros(Shape{channels}));
+}
+
+Value DWConv1dSeq::forward(const Value& x) const {
+  return ops::dwconv1d_seq(x, weight_, bias_);
+}
+
+Mlp::Mlp(std::int64_t in_features, std::int64_t hidden_features,
+         std::int64_t out_features, Rng& rng)
+    : fc1_(in_features, hidden_features, rng),
+      fc2_(hidden_features, out_features, rng) {
+  register_module(fc1_);
+  register_module(fc2_);
+}
+
+Value Mlp::forward(const Value& x) const {
+  return fc2_.forward(ops::gelu(fc1_.forward(x)));
+}
+
+}  // namespace sdmpeb::nn

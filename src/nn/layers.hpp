@@ -1,0 +1,117 @@
+#pragma once
+
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+
+namespace sdmpeb::nn {
+
+/// Fully connected layer on (L, Cin) sequences.
+class Linear : public Module {
+ public:
+  /// init_scale multiplies the Kaiming bound — residual-branch output
+  /// projections pass a small value so deep stacks start near identity.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool with_bias = true, float init_scale = 1.0f);
+  Value forward(const Value& x) const;
+
+  std::int64_t in_features() const { return weight_->value().dim(0); }
+  std::int64_t out_features() const { return weight_->value().dim(1); }
+
+ private:
+  Value weight_;  ///< (Cin, Cout)
+  Value bias_;    ///< (Cout) or nullptr
+};
+
+/// LayerNorm over the channel (last) axis of (L, C).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t features);
+  Value forward(const Value& x) const;
+
+ private:
+  Value gamma_;
+  Value beta_;
+};
+
+/// 2-D convolution applied independently at each depth level of a
+/// (Cin, D, H, W) feature map — overlapped patch embedding / merging.
+class Conv2dPerDepth : public Module {
+ public:
+  Conv2dPerDepth(std::int64_t in_channels, std::int64_t out_channels,
+                 std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                 Rng& rng);
+  Value forward(const Value& x) const;
+
+ private:
+  Value weight_;
+  Value bias_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+};
+
+/// Transposed 2-D convolution per depth level (decoder upsampling).
+class ConvTranspose2dPerDepth : public Module {
+ public:
+  ConvTranspose2dPerDepth(std::int64_t in_channels, std::int64_t out_channels,
+                          std::int64_t kernel, std::int64_t stride,
+                          std::int64_t pad, Rng& rng);
+  Value forward(const Value& x) const;
+
+ private:
+  Value weight_;
+  Value bias_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+};
+
+/// Full 3-D convolution with cubic kernel.
+class Conv3d : public Module {
+ public:
+  Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng);
+  Value forward(const Value& x) const;
+
+ private:
+  Value weight_;
+  Value bias_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+};
+
+/// Depthwise 3-D convolution, stride 1 (the DW-Conv3D blocks of Fig. 2/5).
+class DWConv3d : public Module {
+ public:
+  DWConv3d(std::int64_t channels, std::int64_t kernel, std::int64_t pad,
+           Rng& rng);
+  Value forward(const Value& x) const;
+
+ private:
+  Value weight_;
+  Value bias_;
+  std::int64_t pad_;
+};
+
+/// Depthwise 1-D convolution along a sequence (the SDM-unit Conv1D).
+class DWConv1dSeq : public Module {
+ public:
+  DWConv1dSeq(std::int64_t channels, std::int64_t kernel, Rng& rng);
+  Value forward(const Value& x) const;
+
+ private:
+  Value weight_;
+  Value bias_;
+};
+
+/// Two-layer MLP with GELU, used as the encoder FFN and the fusion MLP.
+class Mlp : public Module {
+ public:
+  Mlp(std::int64_t in_features, std::int64_t hidden_features,
+      std::int64_t out_features, Rng& rng);
+  Value forward(const Value& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace sdmpeb::nn

@@ -1,0 +1,34 @@
+#include "nn/module.hpp"
+
+namespace sdmpeb::nn {
+
+std::vector<Value> Module::parameters() const {
+  std::vector<Value> out;
+  collect(out);
+  return out;
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t total = 0;
+  for (const auto& p : parameters()) total += p->value().numel();
+  return total;
+}
+
+void Module::zero_grad() {
+  for (const auto& p : parameters()) p->zero_grad();
+}
+
+Value Module::register_parameter(Tensor init) {
+  Value p = make_value(std::move(init), /*requires_grad=*/true);
+  params_.push_back(p);
+  return p;
+}
+
+void Module::register_module(Module& child) { children_.push_back(&child); }
+
+void Module::collect(std::vector<Value>& out) const {
+  for (const auto& p : params_) out.push_back(p);
+  for (const Module* child : children_) child->collect(out);
+}
+
+}  // namespace sdmpeb::nn

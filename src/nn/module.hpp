@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/value.hpp"
+
+namespace sdmpeb::nn {
+
+/// Base class for trainable components. Concrete layers register their
+/// parameter tensors and child modules at construction; parameters() walks
+/// the tree. Ownership of children stays with the concrete class (children
+/// are plain members); the registry only holds non-owning pointers, so
+/// registration order must follow member declaration order.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its registered children.
+  std::vector<Value> parameters() const;
+
+  /// Total scalar parameter count (for reporting model sizes).
+  std::int64_t parameter_count() const;
+
+  void zero_grad();
+
+ protected:
+  Value register_parameter(Tensor init);
+  void register_module(Module& child);
+
+ private:
+  void collect(std::vector<Value>& out) const;
+
+  std::vector<Value> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace sdmpeb::nn

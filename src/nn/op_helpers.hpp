@@ -1,0 +1,23 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "nn/value.hpp"
+
+namespace sdmpeb::nn::detail {
+
+/// Shared op plumbing: wraps the forward result, and wires the backward
+/// closure only when some input actually tracks gradients (constant-folded
+/// subgraphs stay closure-free).
+inline Value make_result(Tensor out, std::vector<Value> parents,
+                         std::function<void(Node&)> backward_fn) {
+  const bool needs_grad = any_requires_grad(parents);
+  Value result = make_value(std::move(out), needs_grad);
+  if (needs_grad)
+    result->set_edges(std::move(parents), std::move(backward_fn));
+  return result;
+}
+
+}  // namespace sdmpeb::nn::detail

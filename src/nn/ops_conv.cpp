@@ -1,0 +1,554 @@
+#include "common/error.hpp"
+#include "nn/op_helpers.hpp"
+#include "nn/ops.hpp"
+
+// Convolution kernels. Shapes are validated once per op call; the inner
+// loops use raw row-major indexing (the bounds-checked Tensor::at() is far
+// too slow at O(N·k^2..k^3) access counts — these loops dominate training
+// time).
+
+namespace sdmpeb::nn::ops {
+
+namespace {
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad) {
+  const auto out = (in + 2 * pad - kernel) / stride + 1;
+  SDMPEB_CHECK_MSG(out > 0, "convolution output dim <= 0 (in=" << in
+                            << " k=" << kernel << " s=" << stride
+                            << " p=" << pad << ")");
+  return out;
+}
+
+}  // namespace
+
+Value conv2d_per_depth(const Value& x, const Value& w, const Value& bias,
+                       std::int64_t stride, std::int64_t pad) {
+  const Tensor& xv = x->value();
+  const Tensor& wv = w->value();
+  SDMPEB_CHECK(xv.rank() == 4 && wv.rank() == 4);
+  SDMPEB_CHECK(stride >= 1 && pad >= 0);
+  const auto cin = xv.dim(0), depth = xv.dim(1), hin = xv.dim(2),
+             win = xv.dim(3);
+  const auto cout = wv.dim(0), kh = wv.dim(2), kw = wv.dim(3);
+  SDMPEB_CHECK_MSG(wv.dim(1) == cin, "conv2d_per_depth: w expects "
+                                         << wv.dim(1) << " in-channels, x has "
+                                         << cin);
+  if (bias) SDMPEB_CHECK(bias->value().numel() == cout);
+  const auto hout = conv_out_dim(hin, kh, stride, pad);
+  const auto wout = conv_out_dim(win, kw, stride, pad);
+
+  Tensor out(Shape{cout, depth, hout, wout});
+  {
+    const float* px = xv.raw();
+    const float* pw = wv.raw();
+    float* po = out.raw();
+    for (std::int64_t d = 0; d < depth; ++d) {
+      for (std::int64_t co = 0; co < cout; ++co) {
+        const float b = bias ? bias->value()[co] : 0.0f;
+        float* orow_base = po + (co * depth + d) * hout * wout;
+        for (std::int64_t ho = 0; ho < hout; ++ho) {
+          for (std::int64_t wo = 0; wo < wout; ++wo) {
+            double acc = b;
+            for (std::int64_t ci = 0; ci < cin; ++ci) {
+              const float* xbase = px + (ci * depth + d) * hin * win;
+              const float* wbase = pw + (co * cin + ci) * kh * kw;
+              for (std::int64_t i = 0; i < kh; ++i) {
+                const auto hi = ho * stride - pad + i;
+                if (hi < 0 || hi >= hin) continue;
+                const float* xrow = xbase + hi * win;
+                const float* wrow = wbase + i * kw;
+                for (std::int64_t j = 0; j < kw; ++j) {
+                  const auto wi = wo * stride - pad + j;
+                  if (wi < 0 || wi >= win) continue;
+                  acc += static_cast<double>(xrow[wi]) * wrow[j];
+                }
+              }
+            }
+            orow_base[ho * wout + wo] = static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+
+  Value xc = x, wc = w, bc = bias;
+  std::vector<Value> parents = {x, w};
+  if (bias) parents.push_back(bias);
+  return detail::make_result(
+      std::move(out), std::move(parents),
+      [xc, wc, bc, stride, pad](Node& self) {
+        const Tensor& g = self.grad();
+        const Tensor& xv = xc->value();
+        const Tensor& wv = wc->value();
+        const auto cin = xv.dim(0), depth = xv.dim(1), hin = xv.dim(2),
+                   win = xv.dim(3);
+        const auto cout = wv.dim(0), kh = wv.dim(2), kw = wv.dim(3);
+        const auto hout = g.dim(2), wout = g.dim(3);
+        const bool need_x = xc->requires_grad();
+        const bool need_w = wc->requires_grad();
+        const bool need_b = bc && bc->requires_grad();
+        const float* pg = g.raw();
+        const float* px = xv.raw();
+        const float* pw = wv.raw();
+        float* pgx = need_x ? xc->grad().raw() : nullptr;
+        float* pgw = need_w ? wc->grad().raw() : nullptr;
+        for (std::int64_t d = 0; d < depth; ++d) {
+          for (std::int64_t co = 0; co < cout; ++co) {
+            const float* grow_base = pg + (co * depth + d) * hout * wout;
+            for (std::int64_t ho = 0; ho < hout; ++ho) {
+              for (std::int64_t wo = 0; wo < wout; ++wo) {
+                const float go = grow_base[ho * wout + wo];
+                if (go == 0.0f) continue;
+                if (need_b) bc->grad()[co] += go;
+                for (std::int64_t ci = 0; ci < cin; ++ci) {
+                  const auto xoff = (ci * depth + d) * hin * win;
+                  const auto woff = (co * cin + ci) * kh * kw;
+                  for (std::int64_t i = 0; i < kh; ++i) {
+                    const auto hi = ho * stride - pad + i;
+                    if (hi < 0 || hi >= hin) continue;
+                    for (std::int64_t j = 0; j < kw; ++j) {
+                      const auto wi = wo * stride - pad + j;
+                      if (wi < 0 || wi >= win) continue;
+                      if (need_x)
+                        pgx[xoff + hi * win + wi] += go * pw[woff + i * kw + j];
+                      if (need_w)
+                        pgw[woff + i * kw + j] += go * px[xoff + hi * win + wi];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Value conv_transpose2d_per_depth(const Value& x, const Value& w,
+                                 const Value& bias, std::int64_t stride,
+                                 std::int64_t pad) {
+  const Tensor& xv = x->value();
+  const Tensor& wv = w->value();
+  SDMPEB_CHECK(xv.rank() == 4 && wv.rank() == 4);
+  SDMPEB_CHECK(stride >= 1 && pad >= 0);
+  const auto cin = xv.dim(0), depth = xv.dim(1), hin = xv.dim(2),
+             win = xv.dim(3);
+  SDMPEB_CHECK(wv.dim(0) == cin);
+  const auto cout = wv.dim(1), kh = wv.dim(2), kw = wv.dim(3);
+  if (bias) SDMPEB_CHECK(bias->value().numel() == cout);
+  const auto hout = (hin - 1) * stride - 2 * pad + kh;
+  const auto wout = (win - 1) * stride - 2 * pad + kw;
+  SDMPEB_CHECK(hout > 0 && wout > 0);
+
+  Tensor out(Shape{cout, depth, hout, wout});
+  {
+    float* po = out.raw();
+    if (bias) {
+      for (std::int64_t co = 0; co < cout; ++co) {
+        const float b = bias->value()[co];
+        float* dst = po + co * depth * hout * wout;
+        for (std::int64_t i = 0; i < depth * hout * wout; ++i) dst[i] = b;
+      }
+    }
+    const float* px = xv.raw();
+    const float* pw = wv.raw();
+    for (std::int64_t d = 0; d < depth; ++d)
+      for (std::int64_t ci = 0; ci < cin; ++ci) {
+        const float* xbase = px + (ci * depth + d) * hin * win;
+        for (std::int64_t h = 0; h < hin; ++h)
+          for (std::int64_t ww = 0; ww < win; ++ww) {
+            const float xval = xbase[h * win + ww];
+            if (xval == 0.0f) continue;
+            for (std::int64_t co = 0; co < cout; ++co) {
+              const float* wbase = pw + (ci * cout + co) * kh * kw;
+              float* obase = po + (co * depth + d) * hout * wout;
+              for (std::int64_t i = 0; i < kh; ++i) {
+                const auto ho = h * stride - pad + i;
+                if (ho < 0 || ho >= hout) continue;
+                for (std::int64_t j = 0; j < kw; ++j) {
+                  const auto wo = ww * stride - pad + j;
+                  if (wo < 0 || wo >= wout) continue;
+                  obase[ho * wout + wo] += xval * wbase[i * kw + j];
+                }
+              }
+            }
+          }
+      }
+  }
+
+  Value xc = x, wc = w, bc = bias;
+  std::vector<Value> parents = {x, w};
+  if (bias) parents.push_back(bias);
+  return detail::make_result(
+      std::move(out), std::move(parents),
+      [xc, wc, bc, stride, pad](Node& self) {
+        const Tensor& g = self.grad();
+        const Tensor& xv = xc->value();
+        const Tensor& wv = wc->value();
+        const auto cin = xv.dim(0), depth = xv.dim(1), hin = xv.dim(2),
+                   win = xv.dim(3);
+        const auto cout = wv.dim(1), kh = wv.dim(2), kw = wv.dim(3);
+        const auto hout = g.dim(2), wout = g.dim(3);
+        const bool need_x = xc->requires_grad();
+        const bool need_w = wc->requires_grad();
+        const float* pg = g.raw();
+        const float* px = xv.raw();
+        const float* pw = wv.raw();
+        float* pgx = need_x ? xc->grad().raw() : nullptr;
+        float* pgw = need_w ? wc->grad().raw() : nullptr;
+        if (bc && bc->requires_grad()) {
+          for (std::int64_t co = 0; co < cout; ++co) {
+            double acc = 0.0;
+            const float* base = pg + co * depth * hout * wout;
+            for (std::int64_t i = 0; i < depth * hout * wout; ++i)
+              acc += base[i];
+            bc->grad()[co] += static_cast<float>(acc);
+          }
+        }
+        if (!need_x && !need_w) return;
+        for (std::int64_t d = 0; d < depth; ++d)
+          for (std::int64_t ci = 0; ci < cin; ++ci) {
+            const auto xoff = (ci * depth + d) * hin * win;
+            for (std::int64_t h = 0; h < hin; ++h)
+              for (std::int64_t ww = 0; ww < win; ++ww) {
+                double gx_acc = 0.0;
+                const float xval = px[xoff + h * win + ww];
+                for (std::int64_t co = 0; co < cout; ++co) {
+                  const float* wbase = pw + (ci * cout + co) * kh * kw;
+                  float* gwbase =
+                      need_w ? pgw + (ci * cout + co) * kh * kw : nullptr;
+                  const float* gbase = pg + (co * depth + d) * hout * wout;
+                  for (std::int64_t i = 0; i < kh; ++i) {
+                    const auto ho = h * stride - pad + i;
+                    if (ho < 0 || ho >= hout) continue;
+                    for (std::int64_t j = 0; j < kw; ++j) {
+                      const auto wo = ww * stride - pad + j;
+                      if (wo < 0 || wo >= wout) continue;
+                      const float go = gbase[ho * wout + wo];
+                      gx_acc += static_cast<double>(go) * wbase[i * kw + j];
+                      if (need_w) gwbase[i * kw + j] += go * xval;
+                    }
+                  }
+                }
+                if (need_x)
+                  pgx[xoff + h * win + ww] += static_cast<float>(gx_acc);
+              }
+          }
+      });
+}
+
+Value conv3d(const Value& x, const Value& w, const Value& bias,
+             std::int64_t stride, std::int64_t pad) {
+  const Tensor& xv = x->value();
+  const Tensor& wv = w->value();
+  SDMPEB_CHECK(xv.rank() == 4 && wv.rank() == 5);
+  SDMPEB_CHECK(stride >= 1 && pad >= 0);
+  const auto cin = xv.dim(0), din = xv.dim(1), hin = xv.dim(2),
+             win = xv.dim(3);
+  const auto cout = wv.dim(0), kd = wv.dim(2), kh = wv.dim(3), kw = wv.dim(4);
+  SDMPEB_CHECK(wv.dim(1) == cin);
+  if (bias) SDMPEB_CHECK(bias->value().numel() == cout);
+  const auto dout = conv_out_dim(din, kd, stride, pad);
+  const auto hout = conv_out_dim(hin, kh, stride, pad);
+  const auto wout = conv_out_dim(win, kw, stride, pad);
+
+  Tensor out(Shape{cout, dout, hout, wout});
+  {
+    const float* px = xv.raw();
+    const float* pw = wv.raw();
+    float* po = out.raw();
+    for (std::int64_t co = 0; co < cout; ++co) {
+      const float b = bias ? bias->value()[co] : 0.0f;
+      for (std::int64_t od = 0; od < dout; ++od)
+        for (std::int64_t oh = 0; oh < hout; ++oh)
+          for (std::int64_t ow = 0; ow < wout; ++ow) {
+            double acc = b;
+            for (std::int64_t ci = 0; ci < cin; ++ci) {
+              const float* xch = px + ci * din * hin * win;
+              const float* wch = pw + (co * cin + ci) * kd * kh * kw;
+              for (std::int64_t a = 0; a < kd; ++a) {
+                const auto id = od * stride - pad + a;
+                if (id < 0 || id >= din) continue;
+                for (std::int64_t i = 0; i < kh; ++i) {
+                  const auto ih = oh * stride - pad + i;
+                  if (ih < 0 || ih >= hin) continue;
+                  const float* xrow = xch + (id * hin + ih) * win;
+                  const float* wrow = wch + (a * kh + i) * kw;
+                  for (std::int64_t j = 0; j < kw; ++j) {
+                    const auto iw = ow * stride - pad + j;
+                    if (iw < 0 || iw >= win) continue;
+                    acc += static_cast<double>(xrow[iw]) * wrow[j];
+                  }
+                }
+              }
+            }
+            po[((co * dout + od) * hout + oh) * wout + ow] =
+                static_cast<float>(acc);
+          }
+    }
+  }
+
+  Value xc = x, wc = w, bc = bias;
+  std::vector<Value> parents = {x, w};
+  if (bias) parents.push_back(bias);
+  return detail::make_result(
+      std::move(out), std::move(parents),
+      [xc, wc, bc, stride, pad](Node& self) {
+        const Tensor& g = self.grad();
+        const Tensor& xv = xc->value();
+        const Tensor& wv = wc->value();
+        const auto cin = xv.dim(0), din = xv.dim(1), hin = xv.dim(2),
+                   win = xv.dim(3);
+        const auto cout = wv.dim(0), kd = wv.dim(2), kh = wv.dim(3),
+                   kw = wv.dim(4);
+        const auto dout = g.dim(1), hout = g.dim(2), wout = g.dim(3);
+        const bool need_x = xc->requires_grad();
+        const bool need_w = wc->requires_grad();
+        const bool need_b = bc && bc->requires_grad();
+        const float* pg = g.raw();
+        const float* px = xv.raw();
+        const float* pw = wv.raw();
+        float* pgx = need_x ? xc->grad().raw() : nullptr;
+        float* pgw = need_w ? wc->grad().raw() : nullptr;
+        for (std::int64_t co = 0; co < cout; ++co)
+          for (std::int64_t od = 0; od < dout; ++od)
+            for (std::int64_t oh = 0; oh < hout; ++oh)
+              for (std::int64_t ow = 0; ow < wout; ++ow) {
+                const float go =
+                    pg[((co * dout + od) * hout + oh) * wout + ow];
+                if (go == 0.0f) continue;
+                if (need_b) bc->grad()[co] += go;
+                for (std::int64_t ci = 0; ci < cin; ++ci) {
+                  const auto xch = ci * din * hin * win;
+                  const auto wch = (co * cin + ci) * kd * kh * kw;
+                  for (std::int64_t a = 0; a < kd; ++a) {
+                    const auto id = od * stride - pad + a;
+                    if (id < 0 || id >= din) continue;
+                    for (std::int64_t i = 0; i < kh; ++i) {
+                      const auto ih = oh * stride - pad + i;
+                      if (ih < 0 || ih >= hin) continue;
+                      const auto xrow = xch + (id * hin + ih) * win;
+                      const auto wrow = wch + (a * kh + i) * kw;
+                      for (std::int64_t j = 0; j < kw; ++j) {
+                        const auto iw = ow * stride - pad + j;
+                        if (iw < 0 || iw >= win) continue;
+                        if (need_x) pgx[xrow + iw] += go * pw[wrow + j];
+                        if (need_w) pgw[wrow + j] += go * px[xrow + iw];
+                      }
+                    }
+                  }
+                }
+              }
+      });
+}
+
+Value dwconv3d(const Value& x, const Value& w, const Value& bias,
+               std::int64_t pad) {
+  const Tensor& xv = x->value();
+  const Tensor& wv = w->value();
+  SDMPEB_CHECK(xv.rank() == 4 && wv.rank() == 4);
+  SDMPEB_CHECK(pad >= 0);
+  const auto channels = xv.dim(0), din = xv.dim(1), hin = xv.dim(2),
+             win = xv.dim(3);
+  SDMPEB_CHECK(wv.dim(0) == channels);
+  const auto kd = wv.dim(1), kh = wv.dim(2), kw = wv.dim(3);
+  if (bias) SDMPEB_CHECK(bias->value().numel() == channels);
+  const auto dout = conv_out_dim(din, kd, 1, pad);
+  const auto hout = conv_out_dim(hin, kh, 1, pad);
+  const auto wout = conv_out_dim(win, kw, 1, pad);
+
+  Tensor out(Shape{channels, dout, hout, wout});
+  {
+    const float* px = xv.raw();
+    const float* pw = wv.raw();
+    float* po = out.raw();
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float b = bias ? bias->value()[c] : 0.0f;
+      const float* xch = px + c * din * hin * win;
+      const float* wch = pw + c * kd * kh * kw;
+      float* och = po + c * dout * hout * wout;
+      for (std::int64_t od = 0; od < dout; ++od)
+        for (std::int64_t oh = 0; oh < hout; ++oh)
+          for (std::int64_t ow = 0; ow < wout; ++ow) {
+            double acc = b;
+            for (std::int64_t a = 0; a < kd; ++a) {
+              const auto id = od - pad + a;
+              if (id < 0 || id >= din) continue;
+              for (std::int64_t i = 0; i < kh; ++i) {
+                const auto ih = oh - pad + i;
+                if (ih < 0 || ih >= hin) continue;
+                const float* xrow = xch + (id * hin + ih) * win;
+                const float* wrow = wch + (a * kh + i) * kw;
+                for (std::int64_t j = 0; j < kw; ++j) {
+                  const auto iw = ow - pad + j;
+                  if (iw < 0 || iw >= win) continue;
+                  acc += static_cast<double>(xrow[iw]) * wrow[j];
+                }
+              }
+            }
+            och[(od * hout + oh) * wout + ow] = static_cast<float>(acc);
+          }
+    }
+  }
+
+  Value xc = x, wc = w, bc = bias;
+  std::vector<Value> parents = {x, w};
+  if (bias) parents.push_back(bias);
+  return detail::make_result(
+      std::move(out), std::move(parents), [xc, wc, bc, pad](Node& self) {
+        const Tensor& g = self.grad();
+        const Tensor& xv = xc->value();
+        const Tensor& wv = wc->value();
+        const auto channels = xv.dim(0), din = xv.dim(1), hin = xv.dim(2),
+                   win = xv.dim(3);
+        const auto kd = wv.dim(1), kh = wv.dim(2), kw = wv.dim(3);
+        const auto dout = g.dim(1), hout = g.dim(2), wout = g.dim(3);
+        const bool need_x = xc->requires_grad();
+        const bool need_w = wc->requires_grad();
+        const bool need_b = bc && bc->requires_grad();
+        const float* pg = g.raw();
+        const float* px = xv.raw();
+        const float* pw = wv.raw();
+        float* pgx = need_x ? xc->grad().raw() : nullptr;
+        float* pgw = need_w ? wc->grad().raw() : nullptr;
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const auto xch = c * din * hin * win;
+          const auto wch = c * kd * kh * kw;
+          const float* gch = pg + c * dout * hout * wout;
+          for (std::int64_t od = 0; od < dout; ++od)
+            for (std::int64_t oh = 0; oh < hout; ++oh)
+              for (std::int64_t ow = 0; ow < wout; ++ow) {
+                const float go = gch[(od * hout + oh) * wout + ow];
+                if (go == 0.0f) continue;
+                if (need_b) bc->grad()[c] += go;
+                for (std::int64_t a = 0; a < kd; ++a) {
+                  const auto id = od - pad + a;
+                  if (id < 0 || id >= din) continue;
+                  for (std::int64_t i = 0; i < kh; ++i) {
+                    const auto ih = oh - pad + i;
+                    if (ih < 0 || ih >= hin) continue;
+                    for (std::int64_t j = 0; j < kw; ++j) {
+                      const auto iw = ow - pad + j;
+                      if (iw < 0 || iw >= win) continue;
+                      const auto xi = xch + (id * hin + ih) * win + iw;
+                      const auto wi = wch + (a * kh + i) * kw + j;
+                      if (need_x) pgx[xi] += go * pw[wi];
+                      if (need_w) pgw[wi] += go * px[xi];
+                    }
+                  }
+                }
+              }
+        }
+      });
+}
+
+Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
+  const Tensor& xv = x->value();
+  const Tensor& wv = w->value();
+  SDMPEB_CHECK(xv.rank() == 2 && wv.rank() == 2);
+  const auto rows = xv.dim(0), cols = xv.dim(1);
+  SDMPEB_CHECK(wv.dim(0) == cols);
+  const auto kernel = wv.dim(1);
+  const auto pad = kernel / 2;
+  if (bias) SDMPEB_CHECK(bias->value().numel() == cols);
+
+  Tensor out(Shape{rows, cols});
+  {
+    const float* px = xv.raw();
+    const float* pw = wv.raw();
+    float* po = out.raw();
+    for (std::int64_t l = 0; l < rows; ++l)
+      for (std::int64_t c = 0; c < cols; ++c) {
+        double acc = bias ? bias->value()[c] : 0.0f;
+        const float* wrow = pw + c * kernel;
+        for (std::int64_t k = 0; k < kernel; ++k) {
+          const auto ll = l - pad + k;
+          if (ll < 0 || ll >= rows) continue;
+          acc += static_cast<double>(px[ll * cols + c]) * wrow[k];
+        }
+        po[l * cols + c] = static_cast<float>(acc);
+      }
+  }
+
+  Value xc = x, wc = w, bc = bias;
+  std::vector<Value> parents = {x, w};
+  if (bias) parents.push_back(bias);
+  return detail::make_result(
+      std::move(out), std::move(parents), [xc, wc, bc](Node& self) {
+        const Tensor& g = self.grad();
+        const Tensor& xv = xc->value();
+        const Tensor& wv = wc->value();
+        const auto rows = xv.dim(0), cols = xv.dim(1);
+        const auto kernel = wv.dim(1);
+        const auto pad = kernel / 2;
+        const bool need_x = xc->requires_grad();
+        const bool need_w = wc->requires_grad();
+        const bool need_b = bc && bc->requires_grad();
+        const float* pg = g.raw();
+        const float* px = xv.raw();
+        const float* pw = wv.raw();
+        float* pgx = need_x ? xc->grad().raw() : nullptr;
+        float* pgw = need_w ? wc->grad().raw() : nullptr;
+        for (std::int64_t l = 0; l < rows; ++l)
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float go = pg[l * cols + c];
+            if (go == 0.0f) continue;
+            if (need_b) bc->grad()[c] += go;
+            for (std::int64_t k = 0; k < kernel; ++k) {
+              const auto ll = l - pad + k;
+              if (ll < 0 || ll >= rows) continue;
+              if (need_x) pgx[ll * cols + c] += go * pw[c * kernel + k];
+              if (need_w) pgw[c * kernel + k] += go * px[ll * cols + c];
+            }
+          }
+      });
+}
+
+Value upsample_nearest_per_depth(const Value& x, std::int64_t factor) {
+  const Tensor& xv = x->value();
+  SDMPEB_CHECK(xv.rank() == 4);
+  SDMPEB_CHECK(factor >= 1);
+  const auto channels = xv.dim(0), depth = xv.dim(1), hin = xv.dim(2),
+             win = xv.dim(3);
+  Tensor out(Shape{channels, depth, hin * factor, win * factor});
+  {
+    const float* px = xv.raw();
+    float* po = out.raw();
+    const auto hout = hin * factor, wout = win * factor;
+    for (std::int64_t c = 0; c < channels; ++c)
+      for (std::int64_t d = 0; d < depth; ++d) {
+        const float* src = px + (c * depth + d) * hin * win;
+        float* dst = po + (c * depth + d) * hout * wout;
+        for (std::int64_t h = 0; h < hout; ++h) {
+          const float* srow = src + (h / factor) * win;
+          float* drow = dst + h * wout;
+          for (std::int64_t w = 0; w < wout; ++w)
+            drow[w] = srow[w / factor];
+        }
+      }
+  }
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc, factor](Node& self) {
+    if (!xc->requires_grad()) return;
+    Tensor& gx = xc->grad();
+    const Tensor& g = self.grad();
+    const auto channels = gx.dim(0), depth = gx.dim(1), hin = gx.dim(2),
+               win = gx.dim(3);
+    const auto hout = hin * factor, wout = win * factor;
+    const float* pg = g.raw();
+    float* pgx = gx.raw();
+    for (std::int64_t c = 0; c < channels; ++c)
+      for (std::int64_t d = 0; d < depth; ++d) {
+        const float* grow_base = pg + (c * depth + d) * hout * wout;
+        float* dst = pgx + (c * depth + d) * hin * win;
+        for (std::int64_t h = 0; h < hout; ++h) {
+          const float* grow = grow_base + h * wout;
+          float* drow = dst + (h / factor) * win;
+          for (std::int64_t w = 0; w < wout; ++w)
+            drow[w / factor] += grow[w];
+        }
+      }
+  });
+}
+
+}  // namespace sdmpeb::nn::ops

@@ -1,0 +1,260 @@
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/op_helpers.hpp"
+#include "nn/ops.hpp"
+
+namespace sdmpeb::nn::ops {
+
+namespace {
+
+/// Raw (non-autograd) matrix product with optional transposed operand
+/// layouts: computes op(a) @ op(b) where op transposes the stored matrix
+/// when the flag is set.
+Tensor matmul_raw(const Tensor& a, const Tensor& b, bool trans_a,
+                  bool trans_b) {
+  SDMPEB_CHECK(a.rank() == 2 && b.rank() == 2);
+  const auto m = trans_a ? a.dim(1) : a.dim(0);
+  const auto k = trans_a ? a.dim(0) : a.dim(1);
+  const auto kb = trans_b ? b.dim(1) : b.dim(0);
+  const auto n = trans_b ? b.dim(0) : b.dim(1);
+  SDMPEB_CHECK_MSG(k == kb, "matmul inner dims " << k << " vs " << kb);
+
+  Tensor out(Shape{m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  const auto lda = a.dim(1);
+  const auto ldb = b.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+      if (av == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = pb + kk * ldb;
+        float* orow = po + i * n;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      } else {
+        float* orow = po + i * n;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * pb[j * ldb + kk];
+      }
+    }
+  }
+  return out;
+}
+
+void add_maybe_transposed(Tensor& dst, const Tensor& src, bool transpose) {
+  if (!transpose) {
+    dst += src;
+    return;
+  }
+  const auto rows = src.dim(0);
+  const auto cols = src.dim(1);
+  SDMPEB_CHECK(dst.dim(0) == cols && dst.dim(1) == rows);
+  for (std::int64_t i = 0; i < rows; ++i)
+    for (std::int64_t j = 0; j < cols; ++j) dst.at(j, i) += src.at(i, j);
+}
+
+}  // namespace
+
+Value matmul(const Value& a, const Value& b, bool trans_a, bool trans_b) {
+  Tensor out = matmul_raw(a->value(), b->value(), trans_a, trans_b);
+  Value ac = a, bc = b;
+  return detail::make_result(
+      std::move(out), {a, b}, [ac, bc, trans_a, trans_b](Node& self) {
+        const Tensor& g = self.grad();
+        if (ac->requires_grad()) {
+          // d(op_a(A)) = G @ op_b(B)^T
+          Tensor d_op_a = matmul_raw(g, bc->value(), false, !trans_b);
+          add_maybe_transposed(ac->grad(), d_op_a, trans_a);
+        }
+        if (bc->requires_grad()) {
+          // d(op_b(B)) = op_a(A)^T @ G
+          Tensor d_op_b = matmul_raw(ac->value(), g, !trans_a, false);
+          add_maybe_transposed(bc->grad(), d_op_b, trans_b);
+        }
+      });
+}
+
+Value linear(const Value& x, const Value& w, const Value& bias) {
+  SDMPEB_CHECK(x->value().rank() == 2 && w->value().rank() == 2);
+  SDMPEB_CHECK_MSG(x->value().dim(1) == w->value().dim(0),
+                   "linear: x cols " << x->value().dim(1) << " != w rows "
+                                     << w->value().dim(0));
+  Tensor out = matmul_raw(x->value(), w->value(), false, false);
+  const auto rows = out.dim(0);
+  const auto cols = out.dim(1);
+  if (bias) {
+    SDMPEB_CHECK(bias->value().numel() == cols);
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j)
+        out.at(i, j) += bias->value()[j];
+  }
+  Value xc = x, wc = w, bc = bias;
+  std::vector<Value> parents = {x, w};
+  if (bias) parents.push_back(bias);
+  return detail::make_result(
+      std::move(out), std::move(parents), [xc, wc, bc](Node& self) {
+        const Tensor& g = self.grad();
+        if (xc->requires_grad())
+          xc->grad() += matmul_raw(g, wc->value(), false, true);
+        if (wc->requires_grad())
+          wc->grad() += matmul_raw(xc->value(), g, true, false);
+        if (bc && bc->requires_grad()) {
+          Tensor& gb = bc->grad();
+          for (std::int64_t i = 0; i < g.dim(0); ++i)
+            for (std::int64_t j = 0; j < g.dim(1); ++j)
+              gb[j] += g.at(i, j);
+        }
+      });
+}
+
+Value softmax_rows(const Value& x, float tau) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  SDMPEB_CHECK(tau > 0.0f);
+  const auto rows = x->value().dim(0);
+  const auto cols = x->value().dim(1);
+  Tensor out(x->value().shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float row_max = x->value().at(r, 0);
+    for (std::int64_t c = 1; c < cols; ++c)
+      row_max = std::max(row_max, x->value().at(r, c));
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp((x->value().at(r, c) - row_max) / tau);
+      out.at(r, c) = e;
+      denom += e;
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
+  }
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc, tau](Node& self) {
+    if (!xc->requires_grad()) return;
+    const Tensor& g = self.grad();
+    const Tensor& p = self.value();
+    Tensor& gx = xc->grad();
+    const auto rows = p.dim(0);
+    const auto cols = p.dim(1);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c)
+        dot += static_cast<double>(g.at(r, c)) * p.at(r, c);
+      for (std::int64_t c = 0; c < cols; ++c)
+        gx.at(r, c) += p.at(r, c) *
+                       (g.at(r, c) - static_cast<float>(dot)) / tau;
+    }
+  });
+}
+
+Value log_softmax_rows(const Value& x, float tau) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  SDMPEB_CHECK(tau > 0.0f);
+  const auto rows = x->value().dim(0);
+  const auto cols = x->value().dim(1);
+  Tensor out(x->value().shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float row_max = x->value().at(r, 0);
+    for (std::int64_t c = 1; c < cols; ++c)
+      row_max = std::max(row_max, x->value().at(r, c));
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c)
+      denom += std::exp((x->value().at(r, c) - row_max) / tau);
+    const auto log_denom = static_cast<float>(std::log(denom));
+    for (std::int64_t c = 0; c < cols; ++c)
+      out.at(r, c) = (x->value().at(r, c) - row_max) / tau - log_denom;
+  }
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc, tau](Node& self) {
+    if (!xc->requires_grad()) return;
+    const Tensor& g = self.grad();
+    const Tensor& lsm = self.value();
+    Tensor& gx = xc->grad();
+    const auto rows = lsm.dim(0);
+    const auto cols = lsm.dim(1);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      double gsum = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) gsum += g.at(r, c);
+      for (std::int64_t c = 0; c < cols; ++c)
+        gx.at(r, c) +=
+            (g.at(r, c) -
+             std::exp(lsm.at(r, c)) * static_cast<float>(gsum)) /
+            tau;
+    }
+  });
+}
+
+Value layer_norm(const Value& x, const Value& gamma, const Value& beta,
+                 float eps) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  const auto rows = x->value().dim(0);
+  const auto cols = x->value().dim(1);
+  SDMPEB_CHECK(gamma->value().numel() == cols &&
+               beta->value().numel() == cols);
+
+  Tensor out(x->value().shape());
+  Tensor x_hat(x->value().shape());
+  std::vector<float> inv_sigma(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double mean = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) mean += x->value().at(r, c);
+    mean /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double d = x->value().at(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const auto inv =
+        static_cast<float>(1.0 / std::sqrt(var + static_cast<double>(eps)));
+    inv_sigma[static_cast<std::size_t>(r)] = inv;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xh =
+          (x->value().at(r, c) - static_cast<float>(mean)) * inv;
+      x_hat.at(r, c) = xh;
+      out.at(r, c) = xh * gamma->value()[c] + beta->value()[c];
+    }
+  }
+
+  Value xc = x, gc = gamma, bc = beta;
+  return detail::make_result(
+      std::move(out), {x, gamma, beta},
+      [xc, gc, bc, x_hat = std::move(x_hat),
+       inv_sigma = std::move(inv_sigma)](Node& self) {
+        const Tensor& g = self.grad();
+        const auto rows = g.dim(0);
+        const auto cols = g.dim(1);
+        if (gc->requires_grad() || bc->requires_grad()) {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              if (gc->requires_grad())
+                gc->grad()[c] += g.at(r, c) * x_hat.at(r, c);
+              if (bc->requires_grad()) bc->grad()[c] += g.at(r, c);
+            }
+          }
+        }
+        if (!xc->requires_grad()) return;
+        Tensor& gx = xc->grad();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          double mean_gy = 0.0;
+          double mean_gy_xhat = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const double gy = static_cast<double>(g.at(r, c)) *
+                              gc->value()[c];
+            mean_gy += gy;
+            mean_gy_xhat += gy * x_hat.at(r, c);
+          }
+          mean_gy /= static_cast<double>(cols);
+          mean_gy_xhat /= static_cast<double>(cols);
+          const float inv = inv_sigma[static_cast<std::size_t>(r)];
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const double gy = static_cast<double>(g.at(r, c)) *
+                              gc->value()[c];
+            gx.at(r, c) += static_cast<float>(
+                inv * (gy - mean_gy - x_hat.at(r, c) * mean_gy_xhat));
+          }
+        }
+      });
+}
+
+}  // namespace sdmpeb::nn::ops

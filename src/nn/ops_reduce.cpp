@@ -1,0 +1,50 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nn/op_helpers.hpp"
+#include "nn/ops.hpp"
+
+namespace sdmpeb::nn::ops {
+
+Value sum(const Value& x) {
+  Tensor out(Shape{1});
+  out[0] = x->value().sum();
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc](Node& self) {
+    if (!xc->requires_grad()) return;
+    const float g = self.grad()[0];
+    Tensor& gx = xc->grad();
+    for (std::int64_t i = 0; i < gx.numel(); ++i) gx[i] += g;
+  });
+}
+
+Value mean(const Value& x) {
+  const auto n = x->value().numel();
+  SDMPEB_CHECK(n > 0);
+  Tensor out(Shape{1});
+  out[0] = x->value().mean();
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc, n](Node& self) {
+    if (!xc->requires_grad()) return;
+    const float g = self.grad()[0] / static_cast<float>(n);
+    Tensor& gx = xc->grad();
+    for (std::int64_t i = 0; i < gx.numel(); ++i) gx[i] += g;
+  });
+}
+
+Value max_all(const Value& x) {
+  const Tensor& in = x->value();
+  SDMPEB_CHECK(in.numel() > 0);
+  std::int64_t argmax = 0;
+  for (std::int64_t i = 1; i < in.numel(); ++i)
+    if (in[i] > in[argmax]) argmax = i;
+  Tensor out(Shape{1});
+  out[0] = in[argmax];
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc, argmax](Node& self) {
+    if (!xc->requires_grad()) return;
+    xc->grad()[argmax] += self.grad()[0];
+  });
+}
+
+}  // namespace sdmpeb::nn::ops

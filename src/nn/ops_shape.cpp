@@ -1,0 +1,242 @@
+#include "common/error.hpp"
+#include "nn/op_helpers.hpp"
+#include "nn/ops.hpp"
+
+namespace sdmpeb::nn::ops {
+
+Value reshape(const Value& x, Shape shape) {
+  Tensor out = x->value().reshaped(shape);
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc](Node& self) {
+    if (!xc->requires_grad()) return;
+    Tensor& gx = xc->grad();
+    const Tensor& g = self.grad();
+    for (std::int64_t i = 0; i < g.numel(); ++i) gx[i] += g[i];
+  });
+}
+
+Value to_sequence(const Value& x) {
+  SDMPEB_CHECK_MSG(x->value().rank() == 4, "to_sequence wants (C, D, H, W)");
+  const auto channels = x->value().dim(0);
+  const auto spatial = x->value().numel() / channels;
+  Tensor out(Shape{spatial, channels});
+  const float* in = x->value().raw();
+  float* po = out.raw();
+  for (std::int64_t c = 0; c < channels; ++c)
+    for (std::int64_t l = 0; l < spatial; ++l)
+      po[l * channels + c] = in[c * spatial + l];
+  Value xc = x;
+  return detail::make_result(
+      std::move(out), {x}, [xc, channels, spatial](Node& self) {
+        if (!xc->requires_grad()) return;
+        Tensor& gx = xc->grad();
+        const Tensor& g = self.grad();
+        for (std::int64_t c = 0; c < channels; ++c)
+          for (std::int64_t l = 0; l < spatial; ++l)
+            gx[c * spatial + l] += g[l * channels + c];
+      });
+}
+
+Value to_feature(const Value& x, std::int64_t channels, std::int64_t depth,
+                 std::int64_t height, std::int64_t width) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  const auto spatial = depth * height * width;
+  SDMPEB_CHECK(x->value().dim(0) == spatial &&
+               x->value().dim(1) == channels);
+  Tensor out(Shape{channels, depth, height, width});
+  const float* in = x->value().raw();
+  float* po = out.raw();
+  for (std::int64_t l = 0; l < spatial; ++l)
+    for (std::int64_t c = 0; c < channels; ++c)
+      po[c * spatial + l] = in[l * channels + c];
+  Value xc = x;
+  return detail::make_result(
+      std::move(out), {x}, [xc, channels, spatial](Node& self) {
+        if (!xc->requires_grad()) return;
+        Tensor& gx = xc->grad();
+        const Tensor& g = self.grad();
+        for (std::int64_t l = 0; l < spatial; ++l)
+          for (std::int64_t c = 0; c < channels; ++c)
+            gx[l * channels + c] += g[c * spatial + l];
+      });
+}
+
+Value narrow_rows(const Value& x, std::int64_t start, std::int64_t len) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  const auto rows = x->value().dim(0);
+  const auto cols = x->value().dim(1);
+  SDMPEB_CHECK(start >= 0 && len > 0 && start + len <= rows);
+  Tensor out(Shape{len, cols});
+  const float* in = x->value().raw() + start * cols;
+  std::copy(in, in + len * cols, out.raw());
+  Value xc = x;
+  return detail::make_result(
+      std::move(out), {x}, [xc, start, cols, len](Node& self) {
+        if (!xc->requires_grad()) return;
+        Tensor& gx = xc->grad();
+        const Tensor& g = self.grad();
+        float* dst = gx.raw() + start * cols;
+        const float* src = g.raw();
+        for (std::int64_t i = 0; i < len * cols; ++i) dst[i] += src[i];
+      });
+}
+
+Value narrow_cols(const Value& x, std::int64_t start, std::int64_t len) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  const auto rows = x->value().dim(0);
+  const auto cols = x->value().dim(1);
+  SDMPEB_CHECK(start >= 0 && len > 0 && start + len <= cols);
+  Tensor out(Shape{rows, len});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = x->value().raw() + r * cols + start;
+    std::copy(src, src + len, out.raw() + r * len);
+  }
+  Value xc = x;
+  return detail::make_result(
+      std::move(out), {x}, [xc, start, cols, len](Node& self) {
+        if (!xc->requires_grad()) return;
+        Tensor& gx = xc->grad();
+        const Tensor& g = self.grad();
+        const auto rows = g.dim(0);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          float* dst = gx.raw() + r * cols + start;
+          const float* src = g.raw() + r * len;
+          for (std::int64_t c = 0; c < len; ++c) dst[c] += src[c];
+        }
+      });
+}
+
+Value concat_rows(const std::vector<Value>& parts) {
+  SDMPEB_CHECK(!parts.empty());
+  const auto cols = parts.front()->value().dim(1);
+  std::int64_t rows = 0;
+  for (const auto& p : parts) {
+    SDMPEB_CHECK(p->value().rank() == 2 && p->value().dim(1) == cols);
+    rows += p->value().dim(0);
+  }
+  Tensor out(Shape{rows, cols});
+  std::int64_t offset = 0;
+  for (const auto& p : parts) {
+    const auto n = p->value().numel();
+    std::copy(p->value().raw(), p->value().raw() + n, out.raw() + offset);
+    offset += n;
+  }
+  std::vector<Value> parents = parts;
+  return detail::make_result(
+      std::move(out), std::move(parents), [parts](Node& self) {
+        const Tensor& g = self.grad();
+        std::int64_t offset = 0;
+        for (const auto& p : parts) {
+          const auto n = p->value().numel();
+          if (p->requires_grad()) {
+            Tensor& gp = p->grad();
+            const float* src = g.raw() + offset;
+            for (std::int64_t i = 0; i < n; ++i) gp[i] += src[i];
+          }
+          offset += n;
+        }
+      });
+}
+
+Value concat_cols(const std::vector<Value>& parts) {
+  SDMPEB_CHECK(!parts.empty());
+  const auto rows = parts.front()->value().dim(0);
+  std::int64_t cols = 0;
+  for (const auto& p : parts) {
+    SDMPEB_CHECK(p->value().rank() == 2 && p->value().dim(0) == rows);
+    cols += p->value().dim(1);
+  }
+  Tensor out(Shape{rows, cols});
+  std::int64_t col_offset = 0;
+  for (const auto& p : parts) {
+    const auto pc = p->value().dim(1);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* src = p->value().raw() + r * pc;
+      std::copy(src, src + pc, out.raw() + r * cols + col_offset);
+    }
+    col_offset += pc;
+  }
+  std::vector<Value> parents = parts;
+  return detail::make_result(
+      std::move(out), std::move(parents), [parts, cols](Node& self) {
+        const Tensor& g = self.grad();
+        const auto rows = g.dim(0);
+        std::int64_t col_offset = 0;
+        for (const auto& p : parts) {
+          const auto pc = p->value().dim(1);
+          if (p->requires_grad()) {
+            Tensor& gp = p->grad();
+            for (std::int64_t r = 0; r < rows; ++r) {
+              const float* src = g.raw() + r * cols + col_offset;
+              float* dst = gp.raw() + r * pc;
+              for (std::int64_t c = 0; c < pc; ++c) dst[c] += src[c];
+            }
+          }
+          col_offset += pc;
+        }
+      });
+}
+
+Value concat_channels(const std::vector<Value>& parts) {
+  SDMPEB_CHECK(!parts.empty());
+  const auto& first = parts.front()->value();
+  SDMPEB_CHECK(first.rank() == 4);
+  const auto depth = first.dim(1);
+  const auto height = first.dim(2);
+  const auto width = first.dim(3);
+  std::int64_t channels = 0;
+  for (const auto& p : parts) {
+    SDMPEB_CHECK(p->value().rank() == 4 && p->value().dim(1) == depth &&
+                 p->value().dim(2) == height && p->value().dim(3) == width);
+    channels += p->value().dim(0);
+  }
+  Tensor out(Shape{channels, depth, height, width});
+  std::int64_t offset = 0;  // flat offset: channels are the outer axis
+  for (const auto& p : parts) {
+    const auto n = p->value().numel();
+    std::copy(p->value().raw(), p->value().raw() + n, out.raw() + offset);
+    offset += n;
+  }
+  std::vector<Value> parents = parts;
+  return detail::make_result(
+      std::move(out), std::move(parents), [parts](Node& self) {
+        const Tensor& g = self.grad();
+        std::int64_t offset = 0;
+        for (const auto& p : parts) {
+          const auto n = p->value().numel();
+          if (p->requires_grad()) {
+            Tensor& gp = p->grad();
+            const float* src = g.raw() + offset;
+            for (std::int64_t i = 0; i < n; ++i) gp[i] += src[i];
+          }
+          offset += n;
+        }
+      });
+}
+
+Value gather_rows(const Value& x, std::vector<std::int64_t> indices) {
+  SDMPEB_CHECK(x->value().rank() == 2);
+  const auto rows = x->value().dim(0);
+  const auto cols = x->value().dim(1);
+  for (auto i : indices) SDMPEB_CHECK(i >= 0 && i < rows);
+  Tensor out(Shape{static_cast<std::int64_t>(indices.size()), cols});
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const float* src = x->value().raw() + indices[r] * cols;
+    std::copy(src, src + cols, out.raw() + static_cast<std::int64_t>(r) * cols);
+  }
+  Value xc = x;
+  return detail::make_result(
+      std::move(out), {x},
+      [xc, cols, indices = std::move(indices)](Node& self) {
+        if (!xc->requires_grad()) return;
+        Tensor& gx = xc->grad();
+        const Tensor& g = self.grad();
+        for (std::size_t r = 0; r < indices.size(); ++r) {
+          float* dst = gx.raw() + indices[r] * cols;
+          const float* src = g.raw() + static_cast<std::int64_t>(r) * cols;
+          for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+        }
+      });
+}
+
+}  // namespace sdmpeb::nn::ops

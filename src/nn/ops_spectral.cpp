@@ -1,0 +1,170 @@
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+#include "nn/op_helpers.hpp"
+#include "nn/ops.hpp"
+
+namespace sdmpeb::nn::ops {
+
+namespace {
+
+using fft::Complex;
+
+std::vector<Complex> fft3_of_real(const float* data, std::int64_t depth,
+                                  std::int64_t height, std::int64_t width) {
+  std::vector<Complex> grid(static_cast<std::size_t>(depth * height * width));
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    grid[i] = Complex(static_cast<double>(data[i]), 0.0);
+  fft::fft3(grid, depth, height, width, /*inverse=*/false);
+  return grid;
+}
+
+}  // namespace
+
+// FNO spectral convolution layer. The transform is real-linear, so the
+// adjoint is the same structure with conjugated, channel-transposed weights;
+// see the derivation in DESIGN.md §4 / the comments below.
+Value spectral_conv3d(const Value& x, const Value& w_real,
+                      const Value& w_imag, std::int64_t modes_d,
+                      std::int64_t modes_h, std::int64_t modes_w) {
+  const Tensor& xv = x->value();
+  const Tensor& wr = w_real->value();
+  const Tensor& wi = w_imag->value();
+  SDMPEB_CHECK(xv.rank() == 4 && wr.rank() == 5 && wi.rank() == 5);
+  SDMPEB_CHECK(wr.shape() == wi.shape());
+  const auto cin = xv.dim(0), depth = xv.dim(1), height = xv.dim(2),
+             width = xv.dim(3);
+  const auto cout = wr.dim(0);
+  SDMPEB_CHECK(wr.dim(1) == cin);
+  SDMPEB_CHECK(wr.dim(2) == modes_d && wr.dim(3) == modes_h &&
+               wr.dim(4) == modes_w);
+  SDMPEB_CHECK_MSG(fft::is_power_of_two(depth) &&
+                       fft::is_power_of_two(height) &&
+                       fft::is_power_of_two(width),
+                   "spectral_conv3d needs power-of-two dims, got "
+                       << xv.shape().to_string());
+  SDMPEB_CHECK(modes_d <= depth && modes_h <= height && modes_w <= width);
+
+  const auto voxels = depth * height * width;
+  const auto spatial_index = [&](std::int64_t d, std::int64_t h,
+                                 std::int64_t w) {
+    return static_cast<std::size_t>((d * height + h) * width + w);
+  };
+  const auto mode_index = [&](std::int64_t co, std::int64_t ci,
+                              std::int64_t a, std::int64_t bb,
+                              std::int64_t g) {
+    return (((co * cin + ci) * modes_d + a) * modes_h + bb) * modes_w + g;
+  };
+
+  // Forward FFT of every input channel, saved for the backward pass.
+  auto x_hat = std::make_shared<std::vector<std::vector<Complex>>>();
+  x_hat->reserve(static_cast<std::size_t>(cin));
+  for (std::int64_t ci = 0; ci < cin; ++ci)
+    x_hat->push_back(
+        fft3_of_real(xv.raw() + ci * voxels, depth, height, width));
+
+  Tensor out(Shape{cout, depth, height, width});
+  std::vector<Complex> y_hat(static_cast<std::size_t>(voxels));
+  for (std::int64_t co = 0; co < cout; ++co) {
+    std::fill(y_hat.begin(), y_hat.end(), Complex(0.0, 0.0));
+    for (std::int64_t ci = 0; ci < cin; ++ci) {
+      const auto& xs = (*x_hat)[static_cast<std::size_t>(ci)];
+      for (std::int64_t a = 0; a < modes_d; ++a)
+        for (std::int64_t bb = 0; bb < modes_h; ++bb)
+          for (std::int64_t g = 0; g < modes_w; ++g) {
+            const auto wm = mode_index(co, ci, a, bb, g);
+            const Complex weight(wr[wm], wi[wm]);
+            y_hat[spatial_index(a, bb, g)] +=
+                weight * xs[spatial_index(a, bb, g)];
+          }
+    }
+    fft::fft3(y_hat, depth, height, width, /*inverse=*/true);
+    float* dst = out.raw() + co * voxels;
+    for (std::int64_t i = 0; i < voxels; ++i)
+      dst[i] = static_cast<float>(y_hat[static_cast<std::size_t>(i)].real());
+  }
+
+  Value xc = x, wrc = w_real, wic = w_imag;
+  return detail::make_result(
+      std::move(out), {x, w_real, w_imag},
+      [xc, wrc, wic, x_hat, modes_d, modes_h, modes_w](Node& self) {
+        const Tensor& g = self.grad();
+        const Tensor& xv = xc->value();
+        const Tensor& wr = wrc->value();
+        const Tensor& wi = wic->value();
+        const auto cin = xv.dim(0), depth = xv.dim(1), height = xv.dim(2),
+                   width = xv.dim(3);
+        const auto cout = wr.dim(0);
+        const auto voxels = depth * height * width;
+        const double inv_n = 1.0 / static_cast<double>(voxels);
+        const auto spatial_index = [height, width](std::int64_t d,
+                                                   std::int64_t h,
+                                                   std::int64_t w) {
+          return static_cast<std::size_t>((d * height + h) * width + w);
+        };
+        const auto mode_index = [cin, modes_d, modes_h, modes_w](
+                                    std::int64_t co, std::int64_t ci,
+                                    std::int64_t a, std::int64_t bb,
+                                    std::int64_t g) {
+          return (((co * cin + ci) * modes_d + a) * modes_h + bb) * modes_w +
+                 g;
+        };
+
+        const bool need_x = xc->requires_grad();
+        const bool need_w = wrc->requires_grad() || wic->requires_grad();
+
+        // dL/dY_hat[k] = (1/N) * FFT_fwd(g)[k] (derivation: the inverse FFT
+        // followed by Re() has this as its real-adjoint).
+        std::vector<std::vector<Complex>> g_hat;
+        g_hat.reserve(static_cast<std::size_t>(cout));
+        for (std::int64_t co = 0; co < cout; ++co) {
+          auto gh = fft3_of_real(g.raw() + co * voxels, depth, height, width);
+          for (auto& v : gh) v *= inv_n;
+          g_hat.push_back(std::move(gh));
+        }
+
+        std::vector<Complex> dx_hat(static_cast<std::size_t>(voxels));
+        for (std::int64_t ci = 0; ci < cin; ++ci) {
+          if (need_x)
+            std::fill(dx_hat.begin(), dx_hat.end(), Complex(0.0, 0.0));
+          const auto& xs = (*x_hat)[static_cast<std::size_t>(ci)];
+          for (std::int64_t co = 0; co < cout; ++co) {
+            const auto& gh = g_hat[static_cast<std::size_t>(co)];
+            for (std::int64_t a = 0; a < modes_d; ++a)
+              for (std::int64_t bb = 0; bb < modes_h; ++bb)
+                for (std::int64_t gg = 0; gg < modes_w; ++gg) {
+                  const auto si = spatial_index(a, bb, gg);
+                  const auto wm = mode_index(co, ci, a, bb, gg);
+                  const Complex ghat = gh[si];
+                  if (need_w) {
+                    // dW = conj(X) * dY_hat.
+                    const Complex dw = std::conj(xs[si]) * ghat;
+                    if (wrc->requires_grad())
+                      wrc->grad()[wm] += static_cast<float>(dw.real());
+                    if (wic->requires_grad())
+                      wic->grad()[wm] += static_cast<float>(dw.imag());
+                  }
+                  if (need_x) {
+                    const Complex weight(wr[wm], wi[wm]);
+                    dx_hat[si] += std::conj(weight) * ghat;
+                  }
+                }
+          }
+          if (need_x) {
+            // dx = N * Re(IFFT(dX_hat)) — fft3 inverse normalises by 1/N,
+            // so scale back by N.
+            fft::fft3(dx_hat, depth, height, width, /*inverse=*/true);
+            Tensor& gx = xc->grad();
+            float* dst = gx.raw() + ci * voxels;
+            for (std::int64_t i = 0; i < voxels; ++i)
+              dst[i] += static_cast<float>(
+                  dx_hat[static_cast<std::size_t>(i)].real() *
+                  static_cast<double>(voxels));
+          }
+        }
+      });
+}
+
+}  // namespace sdmpeb::nn::ops

@@ -1,0 +1,68 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::nn {
+
+Adam::Adam(std::vector<Value> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  SDMPEB_CHECK(!params_.empty());
+  SDMPEB_CHECK(options_.lr > 0.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    SDMPEB_CHECK(p->requires_grad());
+    m_.push_back(Tensor::zeros(p->value().shape()));
+    v_.push_back(Tensor::zeros(p->value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  float scale = 1.0f;
+  if (options_.grad_clip_norm > 0.0f) {
+    double norm_sq = 0.0;
+    for (auto& p : params_) {
+      const Tensor& g = p->grad();
+      for (std::int64_t i = 0; i < g.numel(); ++i)
+        norm_sq += static_cast<double>(g[i]) * g[i];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.grad_clip_norm)
+      scale = static_cast<float>(options_.grad_clip_norm / norm);
+  }
+
+  const double bias1 = 1.0 - std::pow(options_.beta1, t_);
+  const double bias2 = 1.0 - std::pow(options_.beta2, t_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& w = params_[pi]->value();
+    const Tensor& g = params_[pi]->grad();
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      float grad = g[i] * scale;
+      if (options_.weight_decay > 0.0f) grad += options_.weight_decay * w[i];
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+      const auto m_hat = static_cast<double>(m[i]) / bias1;
+      const auto v_hat = static_cast<double>(v[i]) / bias2;
+      w[i] -= static_cast<float>(options_.lr * m_hat /
+                                 (std::sqrt(v_hat) + options_.eps));
+    }
+  }
+}
+
+StepDecaySchedule::StepDecaySchedule(float lr0, std::int64_t step_size,
+                                     float gamma)
+    : lr0_(lr0), step_size_(step_size), gamma_(gamma) {
+  SDMPEB_CHECK(lr0 > 0.0f && step_size > 0 && gamma > 0.0f);
+}
+
+float StepDecaySchedule::lr_at(std::int64_t epoch) const {
+  SDMPEB_CHECK(epoch >= 0);
+  return lr0_ * std::pow(gamma_, static_cast<float>(epoch / step_size_));
+}
+
+}  // namespace sdmpeb::nn

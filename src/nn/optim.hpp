@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/value.hpp"
+
+namespace sdmpeb::nn {
+
+/// Adam optimiser over a fixed parameter set. The training loops accumulate
+/// gradients across several clips before each step() (the paper trains with
+/// an effective batch of 8 via gradient accumulation), then call
+/// zero_grad() through the owning module.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    /// Clip the global gradient norm when > 0 (stabilises the MaxSE term).
+    float grad_clip_norm = 0.0f;
+  };
+
+  Adam(std::vector<Value> params, Options options);
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+  /// Apply one update from the currently accumulated gradients.
+  void step();
+
+ private:
+  std::vector<Value> params_;
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Step-decay learning-rate schedule: lr(epoch) = lr0 * gamma^(epoch / step)
+/// (integer division) — the paper's schedule (lr0 = 0.03, step 100, 0.7).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float lr0, std::int64_t step_size, float gamma);
+  float lr_at(std::int64_t epoch) const;
+
+ private:
+  float lr0_;
+  std::int64_t step_size_;
+  float gamma_;
+};
+
+}  // namespace sdmpeb::nn

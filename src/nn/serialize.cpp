@@ -1,0 +1,80 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'D', 'M', 'P'};
+constexpr std::int64_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  SDMPEB_CHECK_MSG(in.good(), "truncated checkpoint");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(const Module& module, const std::string& path) {
+  const auto params = module.parameters();
+  std::ofstream out(path, std::ios::binary);
+  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::int64_t>(params.size()));
+  for (const auto& p : params) {
+    const Tensor& t = p->value();
+    write_pod(out, static_cast<std::int64_t>(t.rank()));
+    for (std::size_t axis = 0; axis < t.rank(); ++axis)
+      write_pod(out, t.dim(axis));
+    out.write(reinterpret_cast<const char*>(t.raw()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  const auto params = module.parameters();
+  std::ifstream in(path, std::ios::binary);
+  SDMPEB_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[4];
+  in.read(magic, 4);
+  SDMPEB_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                   path << " is not a parameter checkpoint");
+  const auto version = read_pod<std::int64_t>(in);
+  SDMPEB_CHECK_MSG(version == kVersion,
+                   "unsupported checkpoint version " << version);
+  const auto count = read_pod<std::int64_t>(in);
+  SDMPEB_CHECK_MSG(count == static_cast<std::int64_t>(params.size()),
+                   "checkpoint has " << count << " parameters, module has "
+                                     << params.size());
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    const auto rank = read_pod<std::int64_t>(in);
+    std::vector<std::int64_t> dims;
+    for (std::int64_t axis = 0; axis < rank; ++axis)
+      dims.push_back(read_pod<std::int64_t>(in));
+    const Shape shape(dims);
+    Tensor& dst = params[pi]->value();
+    SDMPEB_CHECK_MSG(shape == dst.shape(),
+                     "parameter " << pi << " shape mismatch: checkpoint "
+                                  << shape.to_string() << " vs module "
+                                  << dst.shape().to_string());
+    in.read(reinterpret_cast<char*>(dst.raw()),
+            static_cast<std::streamsize>(dst.numel() * sizeof(float)));
+    SDMPEB_CHECK_MSG(in.good(), "truncated payload for parameter " << pi);
+  }
+}
+
+}  // namespace sdmpeb::nn

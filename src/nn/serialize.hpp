@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace sdmpeb::nn {
+
+/// Save / load every parameter of a module (in registration order) to a
+/// single binary checkpoint. The architecture is not serialised: loading
+/// requires a module constructed with the same configuration — shape
+/// mismatches are rejected with a descriptive error.
+///
+/// Format: magic "SDMP", version, parameter count, then each parameter as
+/// (rank, dims..., float32 payload).
+void save_parameters(const Module& module, const std::string& path);
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace sdmpeb::nn

@@ -1,0 +1,78 @@
+#include "nn/value.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::nn {
+
+Tensor& Node::grad() {
+  if (!has_grad_) {
+    grad_ = Tensor::zeros(value_.shape());
+    has_grad_ = true;
+  }
+  return grad_;
+}
+
+void Node::zero_grad() {
+  if (has_grad_) grad_.fill(0.0f);
+}
+
+void Node::set_edges(std::vector<Value> parents,
+                     std::function<void(Node&)> fn) {
+  parents_ = std::move(parents);
+  backward_fn_ = std::move(fn);
+}
+
+void Node::run_backward() {
+  if (backward_fn_) backward_fn_(*this);
+}
+
+Value make_value(Tensor value, bool requires_grad) {
+  return std::make_shared<Node>(std::move(value), requires_grad);
+}
+
+Value constant(Tensor value) { return make_value(std::move(value), false); }
+
+bool any_requires_grad(const std::vector<Value>& inputs) {
+  for (const auto& v : inputs)
+    if (v->requires_grad()) return true;
+  return false;
+}
+
+void backward(const Value& root) {
+  SDMPEB_CHECK_MSG(root->value().numel() == 1,
+                   "backward() needs a scalar root, got shape "
+                       << root->value().shape().to_string());
+  SDMPEB_CHECK_MSG(root->requires_grad(),
+                   "backward() on a root that requires no grad");
+
+  // Iterative post-order DFS producing a topological order (parents after
+  // children in `order` means we can walk it front-to-back for the reverse
+  // pass after reversing the post-order).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_parent] = stack.back();
+    if (next_parent < node->parents().size()) {
+      Node* parent = node->parents()[next_parent].get();
+      ++next_parent;
+      if (parent->requires_grad() && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root->grad()[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    (*it)->run_backward();
+}
+
+}  // namespace sdmpeb::nn

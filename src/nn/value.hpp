@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::nn {
+
+class Node;
+
+/// Handle to an autograd graph node. Ops in ops.hpp take and return Values;
+/// the graph is built dynamically and freed when the last handle drops.
+using Value = std::shared_ptr<Node>;
+
+/// One node of the reverse-mode autograd tape: a tensor plus (optionally)
+/// its gradient and the closure that pushes the gradient to its parents.
+class Node {
+ public:
+  explicit Node(Tensor value, bool requires_grad = false)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  const Tensor& value() const { return value_; }
+  Tensor& value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  void set_requires_grad(bool flag) { requires_grad_ = flag; }
+
+  /// Gradient tensor, allocated (zero) on first access.
+  Tensor& grad();
+  bool has_grad() const { return has_grad_; }
+  void zero_grad();
+
+  const std::vector<Value>& parents() const { return parents_; }
+
+  /// Used by op implementations: wire parents + the backward closure. The
+  /// closure must ACCUMULATE into each parent's grad() (never overwrite) and
+  /// must skip parents with requires_grad() == false.
+  void set_edges(std::vector<Value> parents, std::function<void(Node&)> fn);
+
+  /// Invoke this node's backward closure (no-op for leaves).
+  void run_backward();
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool has_grad_ = false;
+  bool requires_grad_ = false;
+  std::vector<Value> parents_;
+  std::function<void(Node&)> backward_fn_;
+};
+
+/// Wrap a tensor as a graph leaf. Parameters pass requires_grad = true.
+Value make_value(Tensor value, bool requires_grad = false);
+
+/// Convenience: wrap a constant (no gradient tracking).
+Value constant(Tensor value);
+
+/// Reverse pass from a SCALAR root (numel == 1): seeds d(root)/d(root) = 1
+/// and propagates through the tape in reverse topological order. Gradients
+/// accumulate, so zero parameter grads between optimiser steps (gradient
+/// accumulation across clips — the paper's effective batch of 8 — falls out
+/// of this naturally).
+void backward(const Value& root);
+
+/// Helper used by op implementations: true if any input needs gradients.
+bool any_requires_grad(const std::vector<Value>& inputs);
+
+}  // namespace sdmpeb::nn

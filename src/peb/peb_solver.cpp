@@ -1,0 +1,216 @@
+#include "peb/peb_solver.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace sdmpeb::peb {
+
+PebSolver::PebSolver(PebParams params) : params_(params) {
+  params_.validate();
+}
+
+PebState PebSolver::initial_state(const Grid3& acid0) const {
+  PebState state;
+  state.acid = acid0;
+  state.base = Grid3(acid0.depth(), acid0.height(), acid0.width(),
+                     params_.base0);
+  state.inhibitor = Grid3(acid0.depth(), acid0.height(), acid0.width(),
+                          params_.inhibitor0);
+  state.time_s = 0.0;
+  for (double a : acid0.data())
+    SDMPEB_CHECK_MSG(a >= 0.0, "negative initial photoacid");
+  return state;
+}
+
+void PebSolver::reaction_half_step(PebState& state, double dt) const {
+  const double kr = params_.reaction_coeff;
+  const double kc = params_.catalysis_coeff;
+  auto acid = state.acid.data();
+  auto base = state.base.data();
+  auto inhibitor = state.inhibitor.data();
+
+  for (std::size_t i = 0; i < acid.size(); ++i) {
+    const double a0 = acid[i];
+    const double b0 = base[i];
+
+    // Catalytic deprotection, Eq. (1): for frozen [A] over the sub-step the
+    // exact solution is I(t) = I0 * exp(-kc * A * t). Using the average of
+    // the pre/post-neutralisation acid would be second-order; the Strang
+    // wrapper already gives second-order overall, so the frozen value is
+    // evaluated first with a0.
+    inhibitor[i] *= std::exp(-kc * a0 * dt);
+
+    // Acid–base neutralisation: dA/dt = dB/dt = -kr * A * B, so u = A - B is
+    // invariant and A(t) = u * A0 / (A0 - B0 * exp(-kr * u * t)); the
+    // symmetric limit u -> 0 gives A(t) = A0 / (1 + kr * A0 * t).
+    const double u = a0 - b0;
+    double a1;
+    if (std::abs(u) < 1e-12) {
+      a1 = a0 / (1.0 + kr * a0 * dt);
+    } else {
+      const double decay = std::exp(-kr * u * dt);
+      a1 = u * a0 / (a0 - b0 * decay);
+    }
+    // Guard against rounding pushing concentrations slightly negative.
+    a1 = std::max(a1, 0.0);
+    double b1 = std::max(a1 - u, 0.0);
+    acid[i] = a1;
+    base[i] = b1;
+  }
+}
+
+void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
+                             double dt, double robin_h,
+                             double saturation) const {
+  if (diff_coeff <= 0.0) return;
+
+  const auto depth = field.depth();
+  const auto height = field.height();
+  const auto width = field.width();
+
+  std::int64_t count = 0;      // line length along the diffusing axis
+  double spacing_nm = 0.0;
+  switch (axis) {
+    case 0: count = depth;  spacing_nm = params_.dz_nm; break;
+    case 1: count = height; spacing_nm = params_.dy_nm; break;
+    case 2: count = width;  spacing_nm = params_.dx_nm; break;
+    default: SDMPEB_CHECK_MSG(false, "bad axis " << axis);
+  }
+  if (count < 2) return;
+
+  const double r = diff_coeff * dt / (spacing_nm * spacing_nm);
+  const double s = robin_h * dt / spacing_nm;  // Robin surface term
+
+  const auto n = static_cast<std::size_t>(count);
+  std::vector<double> sub(n), diag(n), sup(n), rhs(n), solution(n);
+
+  // Matrix of (I - dt D Lap) with zero-flux ends; the Robin condition adds
+  // an extra sink/source h (u - sat) on the z = 0 cell (axis 0 only).
+  for (std::size_t i = 0; i < n; ++i) {
+    sub[i] = -r;
+    sup[i] = -r;
+    diag[i] = 1.0 + 2.0 * r;
+  }
+  diag[0] = 1.0 + r;
+  diag[n - 1] = 1.0 + r;
+  if (axis == 0 && robin_h > 0.0) diag[0] += s;
+
+  auto data = field.data();
+  const auto line_solve = [&](std::int64_t base_index, std::int64_t stride) {
+    for (std::size_t i = 0; i < n; ++i)
+      rhs[i] = data[static_cast<std::size_t>(
+          base_index + static_cast<std::int64_t>(i) * stride)];
+    if (axis == 0 && robin_h > 0.0) rhs[0] += s * saturation;
+    tridiag_.solve(sub, diag, sup, rhs, solution);
+    for (std::size_t i = 0; i < n; ++i)
+      data[static_cast<std::size_t>(
+          base_index + static_cast<std::int64_t>(i) * stride)] =
+          std::max(solution[i], 0.0);
+  };
+
+  switch (axis) {
+    case 0:
+      for (std::int64_t h = 0; h < height; ++h)
+        for (std::int64_t w = 0; w < width; ++w)
+          line_solve(h * width + w, height * width);
+      break;
+    case 1:
+      for (std::int64_t d = 0; d < depth; ++d)
+        for (std::int64_t w = 0; w < width; ++w)
+          line_solve(d * height * width + w, width);
+      break;
+    case 2:
+      for (std::int64_t d = 0; d < depth; ++d)
+        for (std::int64_t h = 0; h < height; ++h)
+          line_solve((d * height + h) * width, 1);
+      break;
+    default: break;
+  }
+}
+
+void PebSolver::diffuse_explicit(Grid3& field, double diff_z, double diff_xy,
+                                 double dt, double robin_h,
+                                 double saturation) const {
+  if (diff_z <= 0.0 && diff_xy <= 0.0) return;
+  const auto depth = field.depth();
+  const auto height = field.height();
+  const auto width = field.width();
+  const double dx2 = params_.dx_nm * params_.dx_nm;
+  const double dy2 = params_.dy_nm * params_.dy_nm;
+  const double dz2 = params_.dz_nm * params_.dz_nm;
+
+  // Anisotropic CFL limit: dt <= 1 / (2 (Dx/dx^2 + Dy/dy^2 + Dz/dz^2)).
+  const double rate_sum =
+      diff_xy / dx2 + diff_xy / dy2 + diff_z / dz2;
+  const double dt_stable = params_.explicit_safety / (2.0 * rate_sum);
+  const auto substeps = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(dt / dt_stable)));
+  const double dt_sub = dt / static_cast<double>(substeps);
+
+  Grid3 next(depth, height, width);
+  for (std::int64_t step = 0; step < substeps; ++step) {
+    for (std::int64_t d = 0; d < depth; ++d) {
+      for (std::int64_t h = 0; h < height; ++h) {
+        for (std::int64_t w = 0; w < width; ++w) {
+          const double center = field.at(d, h, w);
+          // Zero-flux boundaries: reflect the centre value at walls.
+          const double up = d > 0 ? field.at(d - 1, h, w) : center;
+          const double down = d + 1 < depth ? field.at(d + 1, h, w) : center;
+          const double north = h > 0 ? field.at(d, h - 1, w) : center;
+          const double south =
+              h + 1 < height ? field.at(d, h + 1, w) : center;
+          const double west = w > 0 ? field.at(d, h, w - 1) : center;
+          const double east = w + 1 < width ? field.at(d, h, w + 1) : center;
+          double lap = diff_z * (up + down - 2.0 * center) / dz2 +
+                       diff_xy * (north + south - 2.0 * center) / dy2 +
+                       diff_xy * (west + east - 2.0 * center) / dx2;
+          // Robin surface sink on the top layer.
+          if (d == 0 && robin_h > 0.0)
+            lap -= robin_h / params_.dz_nm * (center - saturation);
+          next.at(d, h, w) = std::max(center + dt_sub * lap, 0.0);
+        }
+      }
+    }
+    std::swap(field, next);
+  }
+}
+
+void PebSolver::diffusion_step(PebState& state, double dt) const {
+  if (params_.scheme == DiffusionScheme::kExplicitSubstepped) {
+    diffuse_explicit(state.acid, params_.acid_diff_z(),
+                     params_.acid_diff_xy(), dt, params_.transfer_coeff_acid,
+                     params_.surface_ambient_acid);
+    diffuse_explicit(state.base, params_.base_diff_z(),
+                     params_.base_diff_xy(), dt, params_.transfer_coeff_base,
+                     params_.surface_ambient_base);
+    return;
+  }
+  // Acid: anisotropic, Robin top surface.
+  diffuse_axis(state.acid, 0, params_.acid_diff_z(), dt,
+               params_.transfer_coeff_acid, params_.surface_ambient_acid);
+  diffuse_axis(state.acid, 1, params_.acid_diff_xy(), dt, 0.0, 0.0);
+  diffuse_axis(state.acid, 2, params_.acid_diff_xy(), dt, 0.0, 0.0);
+  // Base quencher: its own lengths; h_B = 0 in Table I -> pure zero-flux.
+  diffuse_axis(state.base, 0, params_.base_diff_z(), dt,
+               params_.transfer_coeff_base, params_.surface_ambient_base);
+  diffuse_axis(state.base, 1, params_.base_diff_xy(), dt, 0.0, 0.0);
+  diffuse_axis(state.base, 2, params_.base_diff_xy(), dt, 0.0, 0.0);
+}
+
+void PebSolver::step(PebState& state) const {
+  const double dt = params_.dt_s;
+  reaction_half_step(state, 0.5 * dt);
+  diffusion_step(state, dt);
+  reaction_half_step(state, 0.5 * dt);
+  state.time_s += dt;
+}
+
+PebState PebSolver::run(const Grid3& acid0) const {
+  PebState state = initial_state(acid0);
+  const auto steps = static_cast<std::int64_t>(
+      std::ceil(params_.duration_s / params_.dt_s - 1e-9));
+  for (std::int64_t i = 0; i < steps; ++i) step(state);
+  return state;
+}
+
+}  // namespace sdmpeb::peb

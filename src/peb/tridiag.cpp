@@ -1,0 +1,36 @@
+#include "peb/tridiag.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::peb {
+
+void TridiagSolver::solve(std::span<const double> sub,
+                          std::span<const double> diag,
+                          std::span<const double> sup,
+                          std::span<const double> rhs,
+                          std::span<double> solution) {
+  const std::size_t n = diag.size();
+  SDMPEB_CHECK(n >= 1);
+  SDMPEB_CHECK(sub.size() == n && sup.size() == n && rhs.size() == n &&
+               solution.size() == n);
+
+  scratch_c_.resize(n);
+  scratch_d_.resize(n);
+
+  SDMPEB_CHECK_MSG(std::abs(diag[0]) > 0.0, "singular tridiagonal system");
+  scratch_c_[0] = sup[0] / diag[0];
+  scratch_d_[0] = rhs[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = diag[i] - sub[i] * scratch_c_[i - 1];
+    SDMPEB_CHECK_MSG(std::abs(denom) > 1e-300, "singular tridiagonal system");
+    scratch_c_[i] = sup[i] / denom;
+    scratch_d_[i] = (rhs[i] - sub[i] * scratch_d_[i - 1]) / denom;
+  }
+  solution[n - 1] = scratch_d_[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;)
+    solution[i] = scratch_d_[i] - scratch_c_[i] * solution[i + 1];
+}
+
+}  // namespace sdmpeb::peb

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sdmpeb::peb {
+
+/// Thomas-algorithm solver for tridiagonal systems, the kernel of the
+/// locally-one-dimensional implicit diffusion steps. Solves
+///   sub[i] * x[i-1] + diag[i] * x[i] + sup[i] * x[i+1] = rhs[i]
+/// with sub[0] and sup[n-1] ignored. Requires a diagonally dominant system
+/// (always true for backward-Euler diffusion matrices).
+class TridiagSolver {
+ public:
+  /// Workspace is sized on first use and reused across solves.
+  void solve(std::span<const double> sub, std::span<const double> diag,
+             std::span<const double> sup, std::span<const double> rhs,
+             std::span<double> solution);
+
+ private:
+  std::vector<double> scratch_c_;
+  std::vector<double> scratch_d_;
+};
+
+}  // namespace sdmpeb::peb

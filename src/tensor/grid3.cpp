@@ -1,0 +1,54 @@
+#include "tensor/grid3.hpp"
+
+#include <algorithm>
+
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb {
+
+Grid3::Grid3(std::int64_t depth, std::int64_t height, std::int64_t width,
+             double fill)
+    : depth_(depth),
+      height_(height),
+      width_(width),
+      data_(static_cast<std::size_t>(depth * height * width), fill) {
+  SDMPEB_CHECK(depth > 0 && height > 0 && width > 0);
+}
+
+void Grid3::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+double Grid3::min() const {
+  SDMPEB_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Grid3::max() const {
+  SDMPEB_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Grid3::mean() const {
+  SDMPEB_CHECK(!data_.empty());
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc / static_cast<double>(data_.size());
+}
+
+Tensor Grid3::to_tensor() const {
+  Tensor t(Shape{depth_, height_, width_});
+  auto out = t.data();
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out[i] = static_cast<float>(data_[i]);
+  return t;
+}
+
+Grid3 Grid3::from_tensor(const Tensor& t) {
+  SDMPEB_CHECK_MSG(t.rank() == 3, "Grid3 needs a rank-3 tensor, got "
+                                      << t.shape().to_string());
+  Grid3 g(t.dim(0), t.dim(1), t.dim(2));
+  auto in = t.data();
+  for (std::size_t i = 0; i < in.size(); ++i) g.data()[i] = in[i];
+  return g;
+}
+
+}  // namespace sdmpeb

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sdmpeb {
+
+class Tensor;
+
+/// Double-precision 3-D scalar field on a regular grid with physical
+/// spacings, used by the rigorous physics (exposure, PEB reaction–diffusion,
+/// development). Axis order is (D, H, W) = (z, y, x); `z = 0` is the resist
+/// TOP surface (where the Robin boundary condition applies), increasing z
+/// goes toward the substrate.
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(std::int64_t depth, std::int64_t height, std::int64_t width,
+        double fill = 0.0);
+
+  std::int64_t depth() const { return depth_; }
+  std::int64_t height() const { return height_; }
+  std::int64_t width() const { return width_; }
+  std::int64_t numel() const { return depth_ * height_ * width_; }
+
+  double& at(std::int64_t d, std::int64_t h, std::int64_t w) {
+    return data_[index(d, h, w)];
+  }
+  double at(std::int64_t d, std::int64_t h, std::int64_t w) const {
+    return data_[index(d, h, w)];
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  void fill(double v);
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  bool same_shape(const Grid3& other) const {
+    return depth_ == other.depth_ && height_ == other.height_ &&
+           width_ == other.width_;
+  }
+
+  /// Lossy conversion to the float Tensor type with shape (D, H, W) — the
+  /// bridge from physics ground truth into the learning stack.
+  Tensor to_tensor() const;
+
+  /// Inverse bridge: build a Grid3 from a rank-3 (D, H, W) Tensor.
+  static Grid3 from_tensor(const Tensor& t);
+
+ private:
+  std::size_t index(std::int64_t d, std::int64_t h, std::int64_t w) const {
+    SDMPEB_CHECK(d >= 0 && d < depth_ && h >= 0 && h < height_ && w >= 0 &&
+                 w < width_);
+    return static_cast<std::size_t>((d * height_ + h) * width_ + w);
+  }
+
+  std::int64_t depth_ = 0;
+  std::int64_t height_ = 0;
+  std::int64_t width_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sdmpeb

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sdmpeb {
+
+/// Dense row-major tensor shape. Axis order conventions used throughout the
+/// library:
+///   volumes:      (D, H, W)      = (depth/z, height/y, width/x)
+///   feature maps: (C, D, H, W)   channel-first, batch handled by gradient
+///                                accumulation as in the paper's training.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+
+  std::int64_t operator[](std::size_t axis) const {
+    SDMPEB_CHECK(axis < dims_.size());
+    return dims_[axis];
+  }
+
+  std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string s = "(";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  void validate() const {
+    for (auto d : dims_) SDMPEB_CHECK_MSG(d >= 0, "negative dim in shape");
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace sdmpeb

@@ -1,0 +1,115 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sdmpeb {
+
+namespace {
+
+template <typename T>
+double rmse_impl(std::span<const T> a, std::span<const T> b) {
+  SDMPEB_CHECK(a.size() == b.size());
+  SDMPEB_CHECK(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+template <typename T>
+double fro_impl(std::span<const T> a) {
+  double acc = 0.0;
+  for (auto v : a) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+template <typename T>
+double nrmse_impl(std::span<const T> pred, std::span<const T> truth) {
+  SDMPEB_CHECK(pred.size() == truth.size());
+  const double denom = fro_impl(truth);
+  SDMPEB_CHECK_MSG(denom > 0.0, "NRMSE reference has zero norm");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff =
+        static_cast<double>(pred[i]) - static_cast<double>(truth[i]);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc) / denom;
+}
+
+}  // namespace
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  return rmse_impl(a, b);
+}
+double rmse(std::span<const double> a, std::span<const double> b) {
+  return rmse_impl(a, b);
+}
+
+double frobenius_norm(std::span<const float> a) { return fro_impl(a); }
+double frobenius_norm(std::span<const double> a) { return fro_impl(a); }
+
+double nrmse(std::span<const float> pred, std::span<const float> truth) {
+  return nrmse_impl(pred, truth);
+}
+double nrmse(std::span<const double> pred, std::span<const double> truth) {
+  return nrmse_impl(pred, truth);
+}
+
+Histogram::Histogram(double lo, double hi, std::int64_t buckets)
+    : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(buckets), 0) {
+  SDMPEB_CHECK(hi > lo);
+  SDMPEB_CHECK(buckets > 0);
+}
+
+void Histogram::add(double value) {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bucket = static_cast<std::int64_t>(
+      t * static_cast<double>(counts_.size()));
+  bucket = std::clamp<std::int64_t>(
+      bucket, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const float> values) {
+  for (float v : values) add(v);
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+std::int64_t Histogram::count(std::int64_t bucket) const {
+  SDMPEB_CHECK(bucket >= 0 &&
+               bucket < static_cast<std::int64_t>(counts_.size()));
+  return counts_[static_cast<std::size_t>(bucket)];
+}
+
+std::vector<double> Histogram::frequencies() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  return out;
+}
+
+std::string Histogram::label(std::int64_t bucket) const {
+  SDMPEB_CHECK(bucket >= 0 &&
+               bucket < static_cast<std::int64_t>(counts_.size()));
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::ostringstream os;
+  os.precision(3);
+  os << '[' << lo_ + step * static_cast<double>(bucket) << ", "
+     << lo_ + step * static_cast<double>(bucket + 1) << ')';
+  return os.str();
+}
+
+}  // namespace sdmpeb

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdmpeb {
+
+/// Root mean squared error between two equally sized samples (Eq. 12).
+double rmse(std::span<const float> a, std::span<const float> b);
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Frobenius norm of a sample.
+double frobenius_norm(std::span<const float> a);
+double frobenius_norm(std::span<const double> a);
+
+/// Normalised RMSE, ||a - b||_F / ||b||_F with b the reference (Eq. 13).
+double nrmse(std::span<const float> pred, std::span<const float> truth);
+double nrmse(std::span<const double> pred, std::span<const double> truth);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket. Used to reproduce the paper's Fig. 6 value-range
+/// frequency plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::int64_t buckets);
+
+  void add(double value);
+  void add_all(std::span<const float> values);
+  void add_all(std::span<const double> values);
+
+  std::int64_t bucket_count() const {
+    return static_cast<std::int64_t>(counts_.size());
+  }
+  std::int64_t count(std::int64_t bucket) const;
+  std::int64_t total() const { return total_; }
+
+  /// Fraction of samples in each bucket (empty histogram -> all zeros).
+  std::vector<double> frequencies() const;
+
+  /// Bucket label like "[0.2, 0.3)".
+  std::string label(std::int64_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace sdmpeb

@@ -1,0 +1,97 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sdmpeb {
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  SDMPEB_CHECK_MSG(new_shape.numel() == shape_.numel(),
+                   "reshape " << shape_.to_string() << " -> "
+                              << new_shape.to_string());
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::apply(const std::function<float(float)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+Tensor Tensor::map(const std::function<float(float)>& fn) const {
+  Tensor out = *this;
+  out.apply(fn);
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  SDMPEB_CHECK(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  SDMPEB_CHECK(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  SDMPEB_CHECK(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float scalar) {
+  for (auto& v : data_) v += scalar;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  SDMPEB_CHECK(!data_.empty());
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  SDMPEB_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  SDMPEB_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float best = 0.0f;
+  for (float v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace sdmpeb

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace sdmpeb {
+
+/// Dense row-major float tensor with value semantics. This is the raw data
+/// container shared by the physics→learning bridge and the NN stack; the
+/// autograd layer (nn::Value) wraps it.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    SDMPEB_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                     "data size " << data_.size() << " != shape numel "
+                                  << shape_.numel());
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// Uniform in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// Normal(mean, stddev).
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0f,
+                       float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  std::size_t rank() const { return shape_.rank(); }
+  std::int64_t dim(std::size_t axis) const { return shape_[axis]; }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // Multi-dimensional accessors for the ranks used in practice.
+  float& at(std::int64_t i, std::int64_t j) { return data_[idx2(i, j)]; }
+  float at(std::int64_t i, std::int64_t j) const { return data_[idx2(i, j)]; }
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[idx3(i, j, k)];
+  }
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[idx3(i, j, k)];
+  }
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+    return data_[idx4(i, j, k, l)];
+  }
+  float at(std::int64_t i, std::int64_t j, std::int64_t k,
+           std::int64_t l) const {
+    return data_[idx4(i, j, k, l)];
+  }
+
+  /// Same-numel reinterpretation (no copy of semantics beyond the shape).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Elementwise in-place transform.
+  void apply(const std::function<float(float)>& fn);
+  /// Elementwise out-of-place transform.
+  Tensor map(const std::function<float(float)>& fn) const;
+
+  void fill(float v);
+
+  // Elementwise arithmetic; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  Tensor& operator+=(float scalar);
+
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+  friend Tensor operator*(Tensor a, float s) { return a *= s; }
+  friend Tensor operator*(float s, Tensor a) { return a *= s; }
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Largest |x| over all elements.
+  float abs_max() const;
+
+ private:
+  std::size_t idx2(std::int64_t i, std::int64_t j) const {
+    SDMPEB_CHECK(shape_.rank() == 2);
+    SDMPEB_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+    return static_cast<std::size_t>(i * shape_[1] + j);
+  }
+  std::size_t idx3(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    SDMPEB_CHECK(shape_.rank() == 3);
+    SDMPEB_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                 k >= 0 && k < shape_[2]);
+    return static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k);
+  }
+  std::size_t idx4(std::int64_t i, std::int64_t j, std::int64_t k,
+                   std::int64_t l) const {
+    SDMPEB_CHECK(shape_.rank() == 4);
+    SDMPEB_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                 k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3]);
+    return static_cast<std::size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l);
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sdmpeb

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/deep_cnn.hpp"
+#include "baselines/deepeb.hpp"
+#include "baselines/fno.hpp"
+#include "baselines/tempo_resist.hpp"
+#include "core/trainer.hpp"
+
+namespace sdmpeb::baselines {
+namespace {
+
+namespace nnops = nn::ops;
+
+Tensor random_acid(Rng& rng, std::int64_t d = 4, std::int64_t h = 8,
+                   std::int64_t w = 8) {
+  return Tensor::uniform(Shape{1, d, h, w}, rng, 0.0f, 0.9f);
+}
+
+void expect_finite(const Tensor& t) {
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(t[i])) << "index " << i;
+}
+
+TEST(DeepCnn, ForwardShape) {
+  Rng rng(1);
+  DeepCnnConfig config;
+  config.channels = 4;
+  config.blocks = 1;
+  DeepCnn model(config, rng);
+  const auto y = model.forward(nn::constant(random_acid(rng)));
+  EXPECT_EQ(y->value().shape(), Shape({4, 8, 8}));
+  expect_finite(y->value());
+  EXPECT_EQ(model.name(), "DeepCNN");
+}
+
+TEST(TempoResist, ForwardShape) {
+  Rng rng(2);
+  TempoResistConfig config;
+  config.base_channels = 4;
+  TempoResist model(config, rng);
+  const auto y = model.forward(nn::constant(random_acid(rng)));
+  EXPECT_EQ(y->value().shape(), Shape({4, 8, 8}));
+  expect_finite(y->value());
+}
+
+TEST(TempoResist, SlicesAreIndependent) {
+  // Zeroing one depth slice of the input must not change other slices'
+  // outputs — the defining property of the slice-wise baseline.
+  Rng rng(3);
+  TempoResistConfig config;
+  config.base_channels = 4;
+  TempoResist model(config, rng);
+  Tensor acid = random_acid(rng);
+  Tensor acid2 = acid;
+  for (std::int64_t h = 0; h < 8; ++h)
+    for (std::int64_t w = 0; w < 8; ++w) acid2.at(0, 3, h, w) = 0.0f;
+  const auto y = model.forward(nn::constant(acid));
+  const auto y2 = model.forward(nn::constant(acid2));
+  for (std::int64_t d = 0; d < 3; ++d)
+    for (std::int64_t h = 0; h < 8; ++h)
+      for (std::int64_t w = 0; w < 8; ++w)
+        EXPECT_FLOAT_EQ(y->value().at(d, h, w), y2->value().at(d, h, w));
+}
+
+TEST(Fno, ForwardShapeAndFiniteness) {
+  Rng rng(4);
+  FnoConfig config;
+  config.width = 4;
+  config.layers = 1;
+  config.modes_d = 2;
+  config.modes_h = 4;
+  config.modes_w = 4;
+  Fno model(config, rng);
+  const auto y = model.forward(nn::constant(random_acid(rng)));
+  EXPECT_EQ(y->value().shape(), Shape({4, 8, 8}));
+  expect_finite(y->value());
+}
+
+TEST(Fno, CapturesGlobalContext) {
+  // A spectral layer mixes distant voxels: perturbing one corner must move
+  // the output at the far corner (unlike a small local CNN).
+  Rng rng(5);
+  FnoConfig config;
+  config.width = 4;
+  config.layers = 1;
+  config.modes_d = 2;
+  config.modes_h = 4;
+  config.modes_w = 4;
+  Fno model(config, rng);
+  Tensor acid = random_acid(rng);
+  Tensor acid2 = acid;
+  acid2.at(0, 0, 0, 0) += 0.5f;
+  const auto y = model.forward(nn::constant(acid));
+  const auto y2 = model.forward(nn::constant(acid2));
+  EXPECT_NE(y->value().at(3, 7, 7), y2->value().at(3, 7, 7));
+}
+
+TEST(DeePeb, ForwardShapeAndFiniteness) {
+  Rng rng(6);
+  DeePebConfig config;
+  config.fno.width = 4;
+  config.fno.layers = 1;
+  config.fno.modes_d = 2;
+  config.fno.modes_h = 4;
+  config.fno.modes_w = 4;
+  config.cnn_channels = 4;
+  config.cnn_layers = 1;
+  DeePeb model(config, rng);
+  const auto y = model.forward(nn::constant(random_acid(rng)));
+  EXPECT_EQ(y->value().shape(), Shape({4, 8, 8}));
+  expect_finite(y->value());
+}
+
+// Every baseline trains: loss decreases on a small synthetic problem.
+class BaselineTrainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineTrainTest, LossDecreases) {
+  Rng rng(7 + GetParam());
+  std::unique_ptr<core::PebNet> model;
+  switch (GetParam()) {
+    case 0: {
+      DeepCnnConfig c;
+      c.channels = 4;
+      c.blocks = 1;
+      model = std::make_unique<DeepCnn>(c, rng);
+      break;
+    }
+    case 1: {
+      TempoResistConfig c;
+      c.base_channels = 4;
+      model = std::make_unique<TempoResist>(c, rng);
+      break;
+    }
+    case 2: {
+      FnoConfig c;
+      c.width = 4;
+      c.layers = 1;
+      c.modes_d = 2;
+      c.modes_h = 4;
+      c.modes_w = 4;
+      model = std::make_unique<Fno>(c, rng);
+      break;
+    }
+    default: {
+      DeePebConfig c;
+      c.fno.width = 4;
+      c.fno.layers = 1;
+      c.fno.modes_d = 2;
+      c.fno.modes_h = 4;
+      c.fno.modes_w = 4;
+      c.cnn_channels = 4;
+      c.cnn_layers = 1;
+      model = std::make_unique<DeePeb>(c, rng);
+      break;
+    }
+  }
+
+  std::vector<core::TrainSample> data;
+  for (int i = 0; i < 2; ++i) {
+    Tensor acid = Tensor::uniform(Shape{4, 8, 8}, rng, 0.0f, 0.9f);
+    Tensor label = acid.map([](float v) { return 1.5f * v + 0.2f; });
+    data.push_back({acid, label});
+  }
+
+  core::TrainConfig one;
+  one.epochs = 1;
+  one.accumulation = 2;
+  one.lr0 = 5e-3f;
+  Rng train_rng(99);
+  const double first = core::train_model(*model, data, one, train_rng);
+  core::TrainConfig rest = one;
+  rest.epochs = 12;
+  const double later = core::train_model(*model, data, rest, train_rng);
+  EXPECT_LT(later, first) << model->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineTrainTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace sdmpeb::baselines

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/encoder.hpp"
+
+namespace sdmpeb::core {
+namespace {
+
+EncoderStageConfig base_config() {
+  EncoderStageConfig config;
+  config.in_channels = 1;
+  config.out_channels = 8;
+  config.patch_kernel = 3;
+  config.patch_stride = 2;
+  config.attn_heads = 1;
+  config.attn_reduction = 1;
+  config.sdm_state_dim = 4;
+  return config;
+}
+
+TEST(EncoderStage, DownsamplesLaterallyRetainsDepth) {
+  Rng rng(1);
+  EncoderStage stage(base_config(), rng);
+  auto x = nn::constant(Tensor::uniform(Shape{1, 4, 8, 8}, rng));
+  const auto y = stage.forward(x);
+  // Depth retained (the paper's depthwise overlapped patch merging, Fig. 3),
+  // lateral halved, channels widened.
+  EXPECT_EQ(y->value().shape(), Shape({8, 4, 4, 4}));
+}
+
+TEST(EncoderStage, StacksAcrossScales) {
+  Rng rng(2);
+  auto c1 = base_config();
+  EncoderStage stage1(c1, rng);
+  auto c2 = base_config();
+  c2.in_channels = 8;
+  c2.out_channels = 12;
+  EncoderStage stage2(c2, rng);
+  auto x = nn::constant(Tensor::uniform(Shape{1, 2, 8, 8}, rng));
+  const auto y = stage2.forward(stage1.forward(x));
+  EXPECT_EQ(y->value().shape(), Shape({12, 2, 2, 2}));
+}
+
+TEST(EncoderStage, OutputIsFinite) {
+  Rng rng(3);
+  EncoderStage stage(base_config(), rng);
+  auto x = nn::constant(Tensor::uniform(Shape{1, 3, 8, 8}, rng, 0.0f, 0.9f));
+  const auto y = stage.forward(x);
+  for (std::int64_t i = 0; i < y->value().numel(); ++i)
+    ASSERT_TRUE(std::isfinite(y->value()[i]));
+}
+
+TEST(EncoderStage, RejectsWrongInputChannels) {
+  Rng rng(4);
+  EncoderStage stage(base_config(), rng);
+  auto x = nn::constant(Tensor::uniform(Shape{2, 2, 8, 8}, rng));
+  EXPECT_THROW(stage.forward(x), Error);
+}
+
+TEST(EncoderStage, ScanDirectionConfigChangesParameterCount) {
+  Rng rng(5);
+  auto full = base_config();
+  EncoderStage three_dir(full, rng);
+  auto twod = base_config();
+  twod.scan_directions = ScanDirections::kDepthForwardBackward;
+  EncoderStage two_dir(twod, rng);
+  EXPECT_GT(three_dir.parameter_count(), two_dir.parameter_count());
+}
+
+TEST(EncoderStage, GradientsReachPatchEmbedding) {
+  Rng rng(6);
+  EncoderStage stage(base_config(), rng);
+  auto x = nn::constant(Tensor::uniform(Shape{1, 2, 8, 8}, rng));
+  auto loss = nn::ops::mean(nn::ops::square(stage.forward(x)));
+  nn::backward(loss);
+  int with_grad = 0;
+  for (const auto& p : stage.parameters())
+    if (p->has_grad() && p->grad().abs_max() > 0.0f) ++with_grad;
+  EXPECT_GT(with_grad, static_cast<int>(stage.parameters().size()) * 2 / 3);
+}
+
+class EncoderStrideTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(EncoderStrideTest, GeometryMatchesStride) {
+  Rng rng(7);
+  auto config = base_config();
+  config.patch_stride = GetParam();
+  config.patch_kernel = 2 * GetParam() - 1;  // overlapped: k > s
+  EncoderStage stage(config, rng);
+  const std::int64_t lateral = 16;
+  auto x = nn::constant(Tensor::uniform(Shape{1, 2, lateral, lateral}, rng));
+  const auto y = stage.forward(x);
+  EXPECT_EQ(y->value().dim(2), lateral / GetParam());
+  EXPECT_EQ(y->value().dim(3), lateral / GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, EncoderStrideTest,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace sdmpeb::core

@@ -1,0 +1,164 @@
+// Error-path coverage: invalid shapes and arguments must be rejected with
+// sdmpeb::Error (never UB or silent misbehaviour).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/losses.hpp"
+#include "core/sdm_peb_model.hpp"
+#include "core/trainer.hpp"
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+
+namespace sdmpeb {
+namespace {
+
+namespace nnops = nn::ops;
+
+nn::Value value_of(Shape shape, float fill = 1.0f) {
+  return nn::constant(Tensor(std::move(shape), fill));
+}
+
+TEST(OpErrors, ElementwiseShapeMismatch) {
+  EXPECT_THROW(nnops::add(value_of({2, 3}), value_of({3, 2})), Error);
+  EXPECT_THROW(nnops::mul(value_of({4}), value_of({5})), Error);
+  EXPECT_THROW(nnops::sub(value_of({2}), value_of({2, 1})), Error);
+}
+
+TEST(OpErrors, MatmulInnerDimMismatch) {
+  EXPECT_THROW(nnops::matmul(value_of({2, 3}), value_of({4, 5})), Error);
+  EXPECT_THROW(nnops::matmul(value_of({2, 3}), value_of({2, 5}), false, true),
+               Error);
+}
+
+TEST(OpErrors, LinearWrongBias) {
+  EXPECT_THROW(
+      nnops::linear(value_of({2, 3}), value_of({3, 4}), value_of({5})),
+      Error);
+}
+
+TEST(OpErrors, SoftmaxNeedsMatrixAndPositiveTau) {
+  EXPECT_THROW(nnops::softmax_rows(value_of({4})), Error);
+  EXPECT_THROW(nnops::softmax_rows(value_of({2, 2}), 0.0f), Error);
+  EXPECT_THROW(nnops::log_softmax_rows(value_of({2, 2}), -1.0f), Error);
+}
+
+TEST(OpErrors, LayerNormAffineSizeMismatch) {
+  EXPECT_THROW(
+      nnops::layer_norm(value_of({2, 4}), value_of({3}), value_of({4})),
+      Error);
+}
+
+TEST(OpErrors, NarrowOutOfRange) {
+  EXPECT_THROW(nnops::narrow_rows(value_of({3, 2}), 2, 2), Error);
+  EXPECT_THROW(nnops::narrow_rows(value_of({3, 2}), -1, 1), Error);
+  EXPECT_THROW(nnops::narrow_cols(value_of({3, 2}), 1, 2), Error);
+}
+
+TEST(OpErrors, GatherRowsIndexOutOfRange) {
+  EXPECT_THROW(nnops::gather_rows(value_of({3, 2}), {0, 3}), Error);
+  EXPECT_THROW(nnops::gather_rows(value_of({3, 2}), {-1}), Error);
+}
+
+TEST(OpErrors, ConcatShapeMismatch) {
+  EXPECT_THROW(
+      nnops::concat_rows({value_of({2, 3}), value_of({2, 4})}), Error);
+  EXPECT_THROW(
+      nnops::concat_cols({value_of({2, 3}), value_of({3, 3})}), Error);
+  EXPECT_THROW(nnops::concat_channels(
+                   {value_of({1, 2, 2, 2}), value_of({1, 2, 2, 3})}),
+               Error);
+}
+
+TEST(OpErrors, ConvChannelMismatch) {
+  EXPECT_THROW(nnops::conv2d_per_depth(value_of({2, 1, 4, 4}),
+                                       value_of({3, 5, 3, 3}), nullptr, 1, 1),
+               Error);
+  EXPECT_THROW(nnops::conv3d(value_of({2, 4, 4, 4}),
+                             value_of({3, 1, 3, 3, 3}), nullptr, 1, 1),
+               Error);
+  EXPECT_THROW(nnops::dwconv3d(value_of({2, 4, 4, 4}),
+                               value_of({3, 3, 3, 3}), nullptr, 1),
+               Error);
+}
+
+TEST(OpErrors, ConvOutputWouldBeEmpty) {
+  // 2x2 input with a 5x5 kernel and no padding.
+  EXPECT_THROW(nnops::conv2d_per_depth(value_of({1, 1, 2, 2}),
+                                       value_of({1, 1, 5, 5}), nullptr, 1, 0),
+               Error);
+}
+
+TEST(OpErrors, SelectiveScanShapeMismatches) {
+  const auto x = value_of({4, 2});
+  const auto delta = value_of({4, 2}, 0.1f);
+  const auto a_log = value_of({2, 3});
+  const auto b = value_of({4, 3});
+  const auto c = value_of({4, 3});
+  const auto d = value_of({2});
+  // Wrong delta length.
+  EXPECT_THROW(nnops::selective_scan(x, value_of({5, 2}), a_log, b, c, d),
+               Error);
+  // Wrong state count in c.
+  EXPECT_THROW(nnops::selective_scan(x, delta, a_log, b, value_of({4, 2}), d),
+               Error);
+  // Wrong skip size.
+  EXPECT_THROW(nnops::selective_scan(x, delta, a_log, b, c, value_of({3})),
+               Error);
+}
+
+TEST(OpErrors, SpectralConvNeedsPowerOfTwoDims) {
+  EXPECT_THROW(
+      nnops::spectral_conv3d(value_of({1, 3, 4, 4}),
+                             value_of({1, 1, 2, 2, 2}),
+                             value_of({1, 1, 2, 2, 2}), 2, 2, 2),
+      Error);
+}
+
+TEST(OpErrors, SpectralConvModesExceedDims) {
+  EXPECT_THROW(
+      nnops::spectral_conv3d(value_of({1, 2, 4, 4}),
+                             value_of({1, 1, 4, 2, 2}),
+                             value_of({1, 1, 4, 2, 2}), 4, 2, 2),
+      Error);
+}
+
+TEST(LossErrors, DivergenceNeedsRank3AndTwoLayers) {
+  EXPECT_THROW(core::depth_divergence_loss(value_of({4, 4}),
+                                           value_of({4, 4}), 0.1f),
+               Error);
+  EXPECT_THROW(core::depth_divergence_loss(value_of({1, 4, 4}),
+                                           value_of({1, 4, 4}), 0.1f),
+               Error);
+}
+
+TEST(ModelErrors, ForwardRejectsWrongInput) {
+  Rng rng(1);
+  core::SdmPebModel model(core::SdmPebConfig::tiny(), rng);
+  // Two channels instead of one.
+  EXPECT_THROW(model.forward(value_of({2, 2, 8, 8})), Error);
+  // Lateral size not divisible by the total stride (4).
+  EXPECT_THROW(model.forward(value_of({1, 2, 10, 10})), Error);
+}
+
+TEST(TrainerErrors, RejectsEmptyDataAndBadShapes) {
+  Rng rng(2);
+  core::SdmPebModel model(core::SdmPebConfig::tiny(), rng);
+  core::TrainConfig config;
+  config.epochs = 1;
+  Rng train_rng(3);
+  EXPECT_THROW(core::train_model(model, {}, config, train_rng), Error);
+
+  std::vector<core::TrainSample> bad = {
+      {Tensor(Shape{2, 8, 8}), Tensor(Shape{2, 8, 4})}};
+  EXPECT_THROW(core::train_model(model, bad, config, train_rng), Error);
+}
+
+TEST(OptimErrors, AdamRejectsNonGradParams) {
+  auto frozen = nn::constant(Tensor(Shape{2}, 1.0f));
+  EXPECT_THROW(nn::Adam({frozen}, nn::Adam::Options{}), Error);
+  EXPECT_THROW(nn::Adam({}, nn::Adam::Options{}), Error);
+}
+
+}  // namespace
+}  // namespace sdmpeb

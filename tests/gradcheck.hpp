@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/value.hpp"
+
+namespace sdmpeb::testing {
+
+/// Finite-difference gradient check: `build` must construct a SCALAR loss
+/// from the given leaf values (re-running the whole forward). Compares the
+/// analytic gradient from backward() against central differences on every
+/// element of every leaf.
+inline void expect_gradients_match(
+    const std::function<nn::Value(const std::vector<nn::Value>&)>& build,
+    std::vector<Tensor> leaf_inits, double eps = 1e-3, double tol = 2e-2) {
+  // Analytic pass.
+  std::vector<nn::Value> leaves;
+  leaves.reserve(leaf_inits.size());
+  for (auto& t : leaf_inits)
+    leaves.push_back(nn::make_value(t, /*requires_grad=*/true));
+  auto loss = build(leaves);
+  ASSERT_EQ(loss->value().numel(), 1);
+  nn::backward(loss);
+
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    const Tensor& analytic = leaves[li]->grad();
+    for (std::int64_t i = 0; i < leaf_inits[li].numel(); ++i) {
+      const float saved = leaf_inits[li][i];
+
+      const auto eval_at = [&](float v) {
+        leaf_inits[li][i] = v;
+        std::vector<nn::Value> fresh;
+        fresh.reserve(leaf_inits.size());
+        for (auto& t : leaf_inits) fresh.push_back(nn::constant(t));
+        return static_cast<double>(build(fresh)->value()[0]);
+      };
+      const double plus = eval_at(saved + static_cast<float>(eps));
+      const double minus = eval_at(saved - static_cast<float>(eps));
+      leaf_inits[li][i] = saved;
+
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double got = analytic[i];
+      const double scale =
+          std::max({1.0, std::abs(numeric), std::abs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+}  // namespace sdmpeb::testing

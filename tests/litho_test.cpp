@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "litho/aerial.hpp"
+#include "litho/dill.hpp"
+#include "litho/mask.hpp"
+
+namespace sdmpeb::litho {
+namespace {
+
+MaskGenParams small_params() {
+  MaskGenParams p;
+  p.height = 48;
+  p.width = 48;
+  p.pixel_nm = 4.0;
+  p.min_contact_nm = 24.0;
+  p.max_contact_nm = 40.0;
+  p.min_pitch_nm = 80.0;
+  p.margin_px = 5;
+  return p;
+}
+
+TEST(MaskGen, DeterministicForSameSeed) {
+  const auto a = generate_clips(small_params(), 3, 7);
+  const auto b = generate_clips(small_params(), 3, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].contacts.size(), b[i].contacts.size());
+    for (std::int64_t j = 0; j < a[i].pixels.numel(); ++j)
+      EXPECT_FLOAT_EQ(a[i].pixels[j], b[i].pixels[j]);
+  }
+}
+
+TEST(MaskGen, AlwaysProducesAtLeastOneContact) {
+  auto params = small_params();
+  params.keep_probability = 0.0;  // degenerate: nothing survives the draw
+  Rng rng(1);
+  const auto clip = generate_contact_clip(params, rng);
+  EXPECT_GE(clip.contacts.size(), 1u);
+  EXPECT_GT(clip.pixels.sum(), 0.0f);
+}
+
+TEST(MaskGen, PixelsAreBinary) {
+  Rng rng(2);
+  const auto clip = generate_contact_clip(small_params(), rng);
+  for (std::int64_t i = 0; i < clip.pixels.numel(); ++i)
+    EXPECT_TRUE(clip.pixels[i] == 0.0f || clip.pixels[i] == 1.0f);
+}
+
+TEST(MaskGen, ContactCentersAreOpen) {
+  Rng rng(3);
+  const auto clip = generate_contact_clip(small_params(), rng);
+  for (const auto& c : clip.contacts)
+    EXPECT_FLOAT_EQ(clip.pixels.at(c.center_h, c.center_w), 1.0f)
+        << "contact at (" << c.center_h << ", " << c.center_w << ")";
+}
+
+TEST(MaskGen, ContactSizesWithinConfiguredRange) {
+  const auto params = small_params();
+  Rng rng(4);
+  const auto clip = generate_contact_clip(params, rng);
+  for (const auto& c : clip.contacts) {
+    EXPECT_GE(c.size_h * params.pixel_nm, params.min_contact_nm - params.pixel_nm);
+    EXPECT_LE(c.size_h * params.pixel_nm, params.max_contact_nm + params.pixel_nm);
+  }
+}
+
+TEST(MaskGen, RejectsInvalidConfig) {
+  auto params = small_params();
+  params.min_pitch_nm = 10.0;  // pitch below max contact size
+  Rng rng(1);
+  EXPECT_THROW(generate_contact_clip(params, rng), Error);
+}
+
+TEST(GaussianBlur, PreservesTotalMass) {
+  Tensor img(Shape{16, 16});
+  img.at(8, 8) = 1.0f;
+  const auto blurred = gaussian_blur2d(img, 1.5);
+  EXPECT_NEAR(blurred.sum(), 1.0f, 1e-4);
+}
+
+TEST(GaussianBlur, SpreadsImpulseMonotonically) {
+  Tensor img(Shape{17, 17});
+  img.at(8, 8) = 1.0f;
+  const auto blurred = gaussian_blur2d(img, 2.0);
+  EXPECT_LT(blurred.at(8, 8), 1.0f);
+  EXPECT_GT(blurred.at(8, 8), blurred.at(8, 10));
+  EXPECT_GT(blurred.at(8, 10), blurred.at(8, 14));
+}
+
+TEST(GaussianBlur, ConstantFieldIsFixedPoint) {
+  Tensor img(Shape{8, 8}, 0.7f);
+  const auto blurred = gaussian_blur2d(img, 1.0);
+  for (std::int64_t i = 0; i < blurred.numel(); ++i)
+    EXPECT_NEAR(blurred[i], 0.7f, 1e-5);
+}
+
+AerialParams test_aerial() {
+  AerialParams p;
+  p.resist_thickness_nm = 20.0;
+  p.z_pixel_nm = 5.0;
+  p.psf_scale = 12.0 * 1.35 / 193.0;
+  p.standing_wave_amplitude = 0.0;
+  return p;
+}
+
+TEST(Aerial, DepthMatchesThickness) {
+  Rng rng(5);
+  const auto clip = generate_contact_clip(small_params(), rng);
+  const auto aerial = simulate_aerial_image(clip, test_aerial());
+  EXPECT_EQ(aerial.depth(), 4);
+  EXPECT_EQ(aerial.height(), 48);
+  EXPECT_EQ(aerial.width(), 48);
+}
+
+TEST(Aerial, IntensityDecaysWithDepthWithoutStandingWaves) {
+  Rng rng(6);
+  const auto clip = generate_contact_clip(small_params(), rng);
+  const auto aerial = simulate_aerial_image(clip, test_aerial());
+  const auto& c = clip.contacts.front();
+  double prev = aerial.at(0, c.center_h, c.center_w);
+  for (std::int64_t d = 1; d < aerial.depth(); ++d) {
+    const double cur = aerial.at(d, c.center_h, c.center_w);
+    EXPECT_LT(cur, prev + 1e-9) << "depth " << d;
+    prev = cur;
+  }
+}
+
+TEST(Aerial, BrightestInsideContact) {
+  Rng rng(7);
+  const auto clip = generate_contact_clip(small_params(), rng);
+  const auto aerial = simulate_aerial_image(clip, test_aerial());
+  const auto& c = clip.contacts.front();
+  EXPECT_GT(aerial.at(0, c.center_h, c.center_w), aerial.at(0, 0, 0));
+}
+
+TEST(Aerial, StandingWaveModulatesDepthProfile) {
+  Rng rng(8);
+  const auto clip = generate_contact_clip(small_params(), rng);
+  auto params = test_aerial();
+  params.resist_thickness_nm = 60.0;
+  params.z_pixel_nm = 1.0;
+  params.absorption_per_nm = 0.0;
+  params.defocus_rate_per_nm = 0.0;
+  params.standing_wave_amplitude = 0.2;
+  const auto aerial = simulate_aerial_image(clip, params);
+  const auto& c = clip.contacts.front();
+  // With absorption and defocus off, any depth variation is the wave.
+  double lo = 1e9, hi = -1e9;
+  for (std::int64_t d = 0; d < aerial.depth(); ++d) {
+    const double v = aerial.at(d, c.center_h, c.center_w);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.1 * hi);
+}
+
+TEST(Dill, ZeroIntensityReleasesNoAcid) {
+  Grid3 aerial(2, 4, 4, 0.0);
+  const auto acid = exposure_to_photoacid(aerial, DillParams{});
+  EXPECT_DOUBLE_EQ(acid.max(), 0.0);
+}
+
+TEST(Dill, SaturatesAtAcidMax) {
+  Grid3 aerial(1, 2, 2, 1000.0);
+  DillParams params;
+  params.acid_max = 0.9;
+  const auto acid = exposure_to_photoacid(aerial, params);
+  EXPECT_NEAR(acid.max(), 0.9, 1e-9);
+}
+
+TEST(Dill, MonotoneInIntensity) {
+  Grid3 aerial(1, 1, 3);
+  aerial.at(0, 0, 0) = 0.1;
+  aerial.at(0, 0, 1) = 0.5;
+  aerial.at(0, 0, 2) = 0.9;
+  const auto acid = exposure_to_photoacid(aerial, DillParams{});
+  EXPECT_LT(acid.at(0, 0, 0), acid.at(0, 0, 1));
+  EXPECT_LT(acid.at(0, 0, 1), acid.at(0, 0, 2));
+}
+
+TEST(Dill, RejectsNegativeIntensity) {
+  Grid3 aerial(1, 1, 1, -0.1);
+  EXPECT_THROW(exposure_to_photoacid(aerial, DillParams{}), Error);
+}
+
+TEST(Dill, MatchesClosedForm) {
+  Grid3 aerial(1, 1, 1, 0.5);
+  DillParams params;
+  params.dill_c = 0.08;
+  params.dose_time_s = 40.0;
+  params.acid_max = 0.9;
+  const auto acid = exposure_to_photoacid(aerial, params);
+  EXPECT_NEAR(acid.at(0, 0, 0), 0.9 * (1.0 - std::exp(-0.08 * 0.5 * 40.0)),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace sdmpeb::litho

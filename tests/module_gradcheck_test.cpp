@@ -1,0 +1,96 @@
+// Module-level gradient checks: finite differences through entire layers
+// and composed blocks (not just single ops), at miniature sizes.
+
+#include <gtest/gtest.h>
+
+#include "core/attention.hpp"
+#include "core/sdm_unit.hpp"
+#include "gradcheck.hpp"
+#include "nn/layers.hpp"
+
+namespace sdmpeb {
+namespace {
+
+namespace nnops = nn::ops;
+using sdmpeb::testing::expect_gradients_match;
+
+// Check d(loss)/d(input) through a whole module by treating the module's
+// parameters as constants and the input as the differentiated leaf.
+template <typename Forward>
+void check_input_gradient(const Forward& forward, Shape input_shape,
+                          std::uint64_t seed, double eps = 1e-2,
+                          double tol = 3e-2) {
+  Rng rng(seed);
+  expect_gradients_match(
+      [&forward](const std::vector<nn::Value>& leaves) {
+        return nnops::sum(nnops::square(forward(leaves[0])));
+      },
+      {Tensor::uniform(std::move(input_shape), rng, -0.5f, 0.5f)}, eps, tol);
+}
+
+TEST(ModuleGradCheck, MlpInputGradient) {
+  Rng rng(1);
+  nn::Mlp mlp(3, 5, 2, rng);
+  check_input_gradient([&](const nn::Value& x) { return mlp.forward(x); },
+                       Shape{4, 3}, 2);
+}
+
+TEST(ModuleGradCheck, LayerNormInputGradient) {
+  nn::LayerNorm ln(6);
+  check_input_gradient([&](const nn::Value& x) { return ln.forward(x); },
+                       Shape{3, 6}, 3);
+}
+
+TEST(ModuleGradCheck, SdmUnitInputGradient) {
+  Rng rng(4);
+  core::SdmUnitConfig config;
+  config.channels = 3;
+  config.hidden = 6;
+  config.state_dim = 2;
+  core::SdmUnit unit(config, rng);
+  check_input_gradient(
+      [&](const nn::Value& x) { return unit.forward(x, 2, 2, 2); },
+      Shape{8, 3}, 5);
+}
+
+TEST(ModuleGradCheck, SdmUnitTwoDirectionInputGradient) {
+  Rng rng(6);
+  core::SdmUnitConfig config;
+  config.channels = 3;
+  config.hidden = 6;
+  config.state_dim = 2;
+  config.directions = core::ScanDirections::kDepthForwardBackward;
+  core::SdmUnit unit(config, rng);
+  check_input_gradient(
+      [&](const nn::Value& x) { return unit.forward(x, 2, 2, 2); },
+      Shape{8, 3}, 7);
+}
+
+TEST(ModuleGradCheck, AttentionInputGradient) {
+  Rng rng(8);
+  core::EfficientSpatialSelfAttention attn(4, 2, 2, rng);
+  check_input_gradient(
+      [&](const nn::Value& x) { return attn.forward(x, 2, 2, 2); },
+      Shape{8, 4}, 9);
+}
+
+TEST(ModuleGradCheck, ConvStackInputGradient) {
+  Rng rng(10);
+  nn::Conv2dPerDepth conv(1, 2, 3, 2, 1, rng);
+  nn::ConvTranspose2dPerDepth deconv(2, 1, 4, 2, 1, rng);
+  check_input_gradient(
+      [&](const nn::Value& x) {
+        return deconv.forward(nnops::leaky_relu(conv.forward(x), 0.1f));
+      },
+      Shape{1, 2, 4, 4}, 11);
+}
+
+TEST(ModuleGradCheck, DWConv3dInputGradient) {
+  Rng rng(12);
+  nn::DWConv3d conv(2, 3, 1, rng);
+  check_input_gradient([&](const nn::Value& x) { return conv.forward(x); },
+                       Shape{2, 3, 3, 3}, 13);
+}
+
+}  // namespace
+}  // namespace sdmpeb

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace sdmpeb::nn {
+namespace {
+
+namespace nnops = ops;
+
+TEST(Module, ParameterCollectionWalksChildren) {
+  Rng rng(1);
+  Mlp mlp(4, 8, 2, rng);
+  // fc1: 4*8 + 8, fc2: 8*2 + 2.
+  EXPECT_EQ(mlp.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+  EXPECT_EQ(mlp.parameters().size(), 4u);
+}
+
+TEST(Module, ZeroGradClearsAllParameters) {
+  Rng rng(2);
+  Linear lin(3, 2, rng);
+  auto x = constant(Tensor(Shape{1, 3}, 1.0f));
+  auto loss = nnops::sum(nnops::square(lin.forward(x)));
+  backward(loss);
+  bool any_nonzero = false;
+  for (const auto& p : lin.parameters())
+    if (p->grad().abs_max() > 0.0f) any_nonzero = true;
+  EXPECT_TRUE(any_nonzero);
+  lin.zero_grad();
+  for (const auto& p : lin.parameters())
+    EXPECT_FLOAT_EQ(p->grad().abs_max(), 0.0f);
+}
+
+TEST(Linear, ShapeAndBias) {
+  Rng rng(3);
+  Linear lin(5, 7, rng);
+  auto x = constant(Tensor(Shape{4, 5}, 0.5f));
+  const auto y = lin.forward(x);
+  EXPECT_EQ(y->value().shape(), Shape({4, 7}));
+  Linear no_bias(5, 7, rng, /*with_bias=*/false);
+  EXPECT_EQ(no_bias.parameters().size(), 1u);
+}
+
+TEST(LayerNorm, NormalisesRows) {
+  LayerNorm ln(8);
+  Rng rng(4);
+  auto x = constant(Tensor::normal(Shape{3, 8}, rng, 5.0f, 2.0f));
+  const auto y = ln.forward(x);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t c = 0; c < 8; ++c) mean += y->value().at(r, c);
+    mean /= 8.0;
+    for (std::int64_t c = 0; c < 8; ++c) {
+      const double d = y->value().at(r, c) - mean;
+      var += d * d;
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Conv2dPerDepth, OutputGeometry) {
+  Rng rng(5);
+  Conv2dPerDepth conv(2, 4, 3, 2, 1, rng);
+  auto x = constant(Tensor(Shape{2, 3, 8, 8}, 1.0f));
+  const auto y = conv.forward(x);
+  EXPECT_EQ(y->value().shape(), Shape({4, 3, 4, 4}));
+}
+
+TEST(Conv2dPerDepth, DepthSlicesAreIndependent) {
+  Rng rng(6);
+  Conv2dPerDepth conv(1, 1, 3, 1, 1, rng);
+  Tensor input(Shape{1, 2, 4, 4});
+  // Slice 0 nonzero, slice 1 zero: slice 1 output must equal pure bias.
+  for (std::int64_t h = 0; h < 4; ++h)
+    for (std::int64_t w = 0; w < 4; ++w) input.at(0, 0, h, w) = 1.0f;
+  const auto y = conv.forward(constant(input));
+  const float bias_only = y->value().at(0, 1, 2, 2);
+  Tensor zeros(Shape{1, 2, 4, 4});
+  const auto y0 = conv.forward(constant(zeros));
+  EXPECT_FLOAT_EQ(bias_only, y0->value().at(0, 1, 2, 2));
+  EXPECT_NE(y->value().at(0, 0, 2, 2), bias_only);
+}
+
+TEST(ConvTranspose2dPerDepth, InvertsStride2Geometry) {
+  Rng rng(7);
+  ConvTranspose2dPerDepth deconv(3, 2, 4, 2, 1, rng);
+  auto x = constant(Tensor(Shape{3, 2, 4, 4}, 1.0f));
+  const auto y = deconv.forward(x);
+  EXPECT_EQ(y->value().shape(), Shape({2, 2, 8, 8}));
+}
+
+TEST(Conv3d, OutputGeometry) {
+  Rng rng(8);
+  Conv3d conv(1, 3, 3, 1, 1, rng);
+  auto x = constant(Tensor(Shape{1, 4, 6, 6}, 1.0f));
+  const auto y = conv.forward(x);
+  EXPECT_EQ(y->value().shape(), Shape({3, 4, 6, 6}));
+}
+
+TEST(DWConv3d, PreservesShapeWithSamePadding) {
+  Rng rng(9);
+  DWConv3d conv(4, 3, 1, rng);
+  auto x = constant(Tensor(Shape{4, 3, 5, 5}, 1.0f));
+  const auto y = conv.forward(x);
+  EXPECT_EQ(y->value().shape(), x->value().shape());
+}
+
+TEST(DWConv1dSeq, PreservesSequenceShape) {
+  Rng rng(10);
+  DWConv1dSeq conv(3, 3, rng);
+  auto x = constant(Tensor(Shape{7, 3}, 1.0f));
+  const auto y = conv.forward(x);
+  EXPECT_EQ(y->value().shape(), x->value().shape());
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimise ||w - target||^2.
+  auto w = make_value(Tensor(Shape{4}, 0.0f), true);
+  Tensor target_t(Shape{4});
+  for (std::int64_t i = 0; i < 4; ++i) target_t[i] = static_cast<float>(i);
+  Adam::Options opt;
+  opt.lr = 0.1f;
+  Adam adam({w}, opt);
+  for (int step = 0; step < 300; ++step) {
+    w->zero_grad();
+    auto loss =
+        nnops::sum(nnops::square(nnops::sub(w, constant(target_t))));
+    backward(loss);
+    adam.step();
+  }
+  for (std::int64_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(w->value()[i], target_t[i], 1e-2);
+}
+
+TEST(Adam, GradClipLimitsStepOnHugeGradients) {
+  auto w = make_value(Tensor(Shape{1}, 0.0f), true);
+  Adam::Options opt;
+  opt.lr = 0.1f;
+  opt.grad_clip_norm = 1.0f;
+  Adam adam({w}, opt);
+  w->grad()[0] = 1e6f;  // absurd gradient
+  adam.step();
+  // Clipped: |update| <= lr (Adam's first step is ~lr * sign).
+  EXPECT_LE(std::abs(w->value()[0]), 0.11f);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  auto w = make_value(Tensor(Shape{1}, 1.0f), true);
+  Adam::Options opt;
+  opt.lr = 0.01f;
+  opt.weight_decay = 0.1f;
+  Adam adam({w}, opt);
+  for (int i = 0; i < 50; ++i) {
+    w->zero_grad();
+    w->grad()[0] = 0.0f;  // no data gradient: decay only
+    adam.step();
+  }
+  EXPECT_LT(w->value()[0], 1.0f);
+}
+
+TEST(StepDecay, MatchesPaperSchedule) {
+  // lr0 = 0.03, step 100, gamma 0.7 — §IV.
+  StepDecaySchedule schedule(0.03f, 100, 0.7f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(0), 0.03f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(99), 0.03f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(100), 0.03f * 0.7f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(250), 0.03f * 0.7f * 0.7f);
+}
+
+TEST(Training, GradientAccumulationEqualsAveragedGradient) {
+  // Accumulating two half-scaled losses must equal one averaged loss.
+  Rng rng(11);
+  const Tensor w_init = Tensor::normal(Shape{2, 1}, rng);
+  Tensor x1(Shape{1, 2});
+  x1.at(0, 0) = 1.0f;
+  x1.at(0, 1) = 2.0f;
+  Tensor x2(Shape{1, 2});
+  x2.at(0, 0) = -1.0f;
+  x2.at(0, 1) = 0.5f;
+
+  auto run_accumulated = [&]() {
+    auto w = make_value(w_init, true);
+    for (const Tensor& x : {x1, x2}) {
+      auto loss = nnops::mul_scalar(
+          nnops::sum(nnops::square(nnops::matmul(constant(x), w))), 0.5f);
+      backward(loss);
+    }
+    return w->grad();
+  };
+  auto run_joint = [&]() {
+    auto w = make_value(w_init, true);
+    auto l1 = nnops::sum(nnops::square(nnops::matmul(constant(x1), w)));
+    auto l2 = nnops::sum(nnops::square(nnops::matmul(constant(x2), w)));
+    auto loss = nnops::mul_scalar(nnops::add(l1, l2), 0.5f);
+    backward(loss);
+    return w->grad();
+  };
+  const Tensor ga = run_accumulated();
+  const Tensor gj = run_joint();
+  for (std::int64_t i = 0; i < ga.numel(); ++i)
+    EXPECT_NEAR(ga[i], gj[i], 1e-5);
+}
+
+}  // namespace
+}  // namespace sdmpeb::nn

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "baselines/fno.hpp"
+#include "core/sdm_peb_model.hpp"
+#include "nn/serialize.hpp"
+
+namespace sdmpeb::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sdmpeb_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, RoundTripRestoresExactWeights) {
+  Rng rng_a(1);
+  core::SdmPebModel model_a(core::SdmPebConfig::tiny(), rng_a);
+  save_parameters(model_a, path("model.ckpt"));
+
+  Rng rng_b(999);  // different init
+  core::SdmPebModel model_b(core::SdmPebConfig::tiny(), rng_b);
+  load_parameters(model_b, path("model.ckpt"));
+
+  const auto pa = model_a.parameters();
+  const auto pb = model_b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->value().numel(); ++j)
+      ASSERT_FLOAT_EQ(pa[i]->value()[j], pb[i]->value()[j]);
+}
+
+TEST_F(SerializeTest, LoadedModelReproducesPredictions) {
+  Rng rng_a(2);
+  core::SdmPebModel model_a(core::SdmPebConfig::tiny(), rng_a);
+  Rng input_rng(3);
+  const Tensor acid =
+      Tensor::uniform(Shape{1, 2, 8, 8}, input_rng, 0.0f, 0.9f);
+  const auto y_a = model_a.forward(constant(acid));
+  save_parameters(model_a, path("model.ckpt"));
+
+  Rng rng_b(77);
+  core::SdmPebModel model_b(core::SdmPebConfig::tiny(), rng_b);
+  load_parameters(model_b, path("model.ckpt"));
+  const auto y_b = model_b.forward(constant(acid));
+  for (std::int64_t i = 0; i < y_a->value().numel(); ++i)
+    ASSERT_FLOAT_EQ(y_a->value()[i], y_b->value()[i]);
+}
+
+TEST_F(SerializeTest, RejectsArchitectureMismatch) {
+  Rng rng(4);
+  core::SdmPebModel small(core::SdmPebConfig::tiny(), rng);
+  save_parameters(small, path("small.ckpt"));
+  core::SdmPebModel big(core::SdmPebConfig::default_scale(), rng);
+  EXPECT_THROW(load_parameters(big, path("small.ckpt")), Error);
+}
+
+TEST_F(SerializeTest, RejectsDifferentModelFamily) {
+  Rng rng(5);
+  baselines::FnoConfig config;
+  config.width = 4;
+  config.layers = 1;
+  config.modes_d = 2;
+  config.modes_h = 2;
+  config.modes_w = 2;
+  baselines::Fno fno(config, rng);
+  save_parameters(fno, path("fno.ckpt"));
+  core::SdmPebModel sdm(core::SdmPebConfig::tiny(), rng);
+  EXPECT_THROW(load_parameters(sdm, path("fno.ckpt")), Error);
+}
+
+TEST_F(SerializeTest, RejectsCorruptFile) {
+  {
+    std::ofstream out(path("junk.ckpt"), std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  Rng rng(6);
+  core::SdmPebModel model(core::SdmPebConfig::tiny(), rng);
+  EXPECT_THROW(load_parameters(model, path("junk.ckpt")), Error);
+  EXPECT_THROW(load_parameters(model, path("missing.ckpt")), Error);
+}
+
+}  // namespace
+}  // namespace sdmpeb::nn

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/grid3.hpp"
+#include "tensor/stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s.to_string(), "(2, 3, 4)");
+}
+
+TEST(Shape, EqualityAndScalar) {
+  EXPECT_EQ(Shape({2, 2}), Shape({2, 2}));
+  EXPECT_NE(Shape({2, 2}), Shape({4}));
+  EXPECT_EQ(Shape({}).numel(), 1);  // rank-0 scalar convention
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+  t.fill(-2.0f);
+  EXPECT_FLOAT_EQ(t.max(), -2.0f);
+}
+
+TEST(Tensor, MultiDimAccessorsRowMajor) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+  Tensor u(Shape{2, 2, 2});
+  u.at(1, 0, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(u[5], 3.0f);
+  Tensor v(Shape{2, 2, 2, 2});
+  v.at(1, 1, 1, 1) = 9.0f;
+  EXPECT_FLOAT_EQ(v[15], 9.0f);
+}
+
+TEST(Tensor, OutOfRangeAccessThrows) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW(t.at(2, 0), Error);
+  EXPECT_THROW(t.at(0, -1), Error);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a(Shape{3}, 2.0f);
+  Tensor b(Shape{3}, 3.0f);
+  const Tensor sum = a + b;
+  const Tensor diff = a - b;
+  const Tensor prod = a * b;
+  EXPECT_FLOAT_EQ(sum[0], 5.0f);
+  EXPECT_FLOAT_EQ(diff[1], -1.0f);
+  EXPECT_FLOAT_EQ(prod[2], 6.0f);
+  EXPECT_FLOAT_EQ((a * 2.0f)[0], 4.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a += b, Error);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor a(Shape{2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) a[i] = static_cast<float>(i);
+  const Tensor b = a.reshaped(Shape{3, 2});
+  EXPECT_FLOAT_EQ(b.at(2, 1), 5.0f);
+  EXPECT_THROW(a.reshaped(Shape{7}), Error);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a(Shape{4});
+  a[0] = 1.0f; a[1] = -5.0f; a[2] = 3.0f; a[3] = 1.0f;
+  EXPECT_FLOAT_EQ(a.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(a.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(a.min(), -5.0f);
+  EXPECT_FLOAT_EQ(a.max(), 3.0f);
+  EXPECT_FLOAT_EQ(a.abs_max(), 5.0f);
+}
+
+TEST(Tensor, MapAndApply) {
+  Tensor a(Shape{3}, 2.0f);
+  const Tensor sq = a.map([](float v) { return v * v; });
+  EXPECT_FLOAT_EQ(sq[0], 4.0f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);  // map is out-of-place
+  a.apply([](float v) { return v + 1.0f; });
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+}
+
+TEST(Tensor, RandomGeneratorsDeterministic) {
+  Rng r1(5), r2(5);
+  const Tensor a = Tensor::uniform(Shape{16}, r1, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform(Shape{16}, r2, -1.0f, 1.0f);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]);
+    EXPECT_GE(a[i], -1.0f);
+    EXPECT_LT(a[i], 1.0f);
+  }
+}
+
+TEST(Grid3, ConstructionAndAccess) {
+  Grid3 g(2, 3, 4, 0.5);
+  EXPECT_EQ(g.numel(), 24);
+  EXPECT_DOUBLE_EQ(g.at(1, 2, 3), 0.5);
+  g.at(0, 0, 0) = 2.0;
+  EXPECT_DOUBLE_EQ(g.max(), 2.0);
+  EXPECT_DOUBLE_EQ(g.min(), 0.5);
+}
+
+TEST(Grid3, TensorRoundTrip) {
+  Grid3 g(2, 2, 2);
+  for (std::int64_t d = 0; d < 2; ++d)
+    for (std::int64_t h = 0; h < 2; ++h)
+      for (std::int64_t w = 0; w < 2; ++w)
+        g.at(d, h, w) = d * 100 + h * 10 + w;
+  const Tensor t = g.to_tensor();
+  EXPECT_EQ(t.shape(), Shape({2, 2, 2}));
+  EXPECT_FLOAT_EQ(t.at(1, 0, 1), 101.0f);
+  const Grid3 back = Grid3::from_tensor(t);
+  EXPECT_DOUBLE_EQ(back.at(1, 1, 0), 110.0);
+}
+
+TEST(Stats, RmseOfIdenticalIsZero) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(rmse(std::span<const float>(a), std::span<const float>(a)),
+                   0.0);
+}
+
+TEST(Stats, RmseKnownValue) {
+  std::vector<double> a{0.0, 0.0};
+  std::vector<double> b{3.0, 4.0};
+  // sqrt((9 + 16)/2) = sqrt(12.5)
+  EXPECT_NEAR(rmse(std::span<const double>(a), std::span<const double>(b)),
+              std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, NrmseNormalisesByReferenceNorm) {
+  std::vector<double> truth{3.0, 4.0};  // norm 5
+  std::vector<double> pred{3.0, 3.0};   // diff norm 1
+  EXPECT_NEAR(nrmse(std::span<const double>(pred),
+                    std::span<const double>(truth)),
+              0.2, 1e-12);
+}
+
+TEST(Stats, FrobeniusNorm) {
+  std::vector<float> a{3.0f, 4.0f};
+  EXPECT_NEAR(frobenius_norm(std::span<const float>(a)), 5.0, 1e-6);
+}
+
+TEST(Histogram, BucketsAndFrequencies) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);
+  h.add(0.15);
+  h.add(0.15);
+  h.add(0.999);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(9), 1);
+  EXPECT_EQ(h.total(), 4);
+  const auto freq = h.frequencies();
+  EXPECT_NEAR(freq[1], 0.5, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEndBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(3), 1);
+}
+
+TEST(Histogram, LabelsDescribeRanges) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.label(2), "[0.2, 0.3)");
+}
+
+TEST(Histogram, EmptyFrequenciesAreZero) {
+  Histogram h(0.0, 1.0, 3);
+  for (double f : h.frequencies()) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+}  // namespace
+}  // namespace sdmpeb

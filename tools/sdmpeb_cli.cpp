@@ -1,0 +1,169 @@
+// sdmpeb_cli — command-line front end for the SDM-PEB library.
+//
+//   sdmpeb_cli simulate  [--clips N] [--seed S] [--out DIR]
+//       run the rigorous pipeline and dump acid/inhibitor volumes + PGMs
+//   sdmpeb_cli train     [--clips N] [--epochs E] [--seed S] [--model M]
+//                        [--out CKPT]
+//       train a surrogate (sdm | deepcnn | tempo | fno | deepeb) and save a
+//       checkpoint
+//   sdmpeb_cli evaluate  [--clips N] [--seed S] --model M --ckpt CKPT
+//       evaluate a checkpoint on the held-out split (Table II columns)
+//
+// All runs are deterministic for a given --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/deep_cnn.hpp"
+#include "baselines/deepeb.hpp"
+#include "baselines/fno.hpp"
+#include "baselines/tempo_resist.hpp"
+#include "core/sdm_peb_model.hpp"
+#include "eval/harness.hpp"
+#include "io/pgm.hpp"
+#include "io/volume_io.hpp"
+#include "nn/serialize.hpp"
+
+using namespace sdmpeb;
+
+namespace {
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+CliArgs parse_args(int argc, char** argv) {
+  CliArgs args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.options[key] = argv[i + 1];
+  }
+  return args;
+}
+
+std::unique_ptr<core::PebNet> make_model(const std::string& name, Rng& rng) {
+  if (name == "sdm")
+    return std::make_unique<core::SdmPebModel>(
+        core::SdmPebConfig::default_scale(), rng);
+  if (name == "deepcnn")
+    return std::make_unique<baselines::DeepCnn>(baselines::DeepCnnConfig{},
+                                                rng);
+  if (name == "tempo")
+    return std::make_unique<baselines::TempoResist>(
+        baselines::TempoResistConfig{}, rng);
+  if (name == "fno")
+    return std::make_unique<baselines::Fno>(baselines::FnoConfig{}, rng);
+  if (name == "deepeb")
+    return std::make_unique<baselines::DeePeb>(baselines::DeePebConfig{},
+                                               rng);
+  SDMPEB_CHECK_MSG(false, "unknown model '" << name
+                          << "' (sdm|deepcnn|tempo|fno|deepeb)");
+}
+
+eval::DatasetConfig dataset_config(const CliArgs& args) {
+  auto config = eval::DatasetConfig::small();
+  config.clip_count = args.get_int("clips", 6);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2025));
+  config.peb.duration_s =
+      static_cast<double>(args.get_int("bake-seconds", 30));
+  return config;
+}
+
+int cmd_simulate(const CliArgs& args) {
+  const auto out_dir = args.get("out", "sdmpeb_out");
+  std::filesystem::create_directories(out_dir);
+  const auto dataset = eval::build_dataset(dataset_config(args));
+  std::int64_t index = 0;
+  const auto dump = [&](const eval::ClipSample& sample) {
+    const auto stem = out_dir + "/clip" + std::to_string(index++);
+    io::save_grid(sample.acid0, stem + "_acid.bin");
+    io::save_grid(sample.inhibitor_gt, stem + "_inhibitor.bin");
+    io::save_pgm(io::depth_slice(sample.inhibitor_gt,
+                                 sample.inhibitor_gt.depth() - 1),
+                 stem + "_inhibitor_bottom.pgm", 0.0f, 1.0f);
+    std::printf("  %s: %zu contacts, rigorous %.2f s\n", stem.c_str(),
+                sample.clip.contacts.size(), sample.rigorous_seconds);
+  };
+  for (const auto& s : dataset.train) dump(s);
+  for (const auto& s : dataset.test) dump(s);
+  std::printf("wrote %lld clips to %s\n",
+              static_cast<long long>(index), out_dir.c_str());
+  return 0;
+}
+
+int cmd_train(const CliArgs& args) {
+  const auto model_name = args.get("model", "sdm");
+  const auto ckpt = args.get("out", model_name + ".ckpt");
+  const auto dataset = eval::build_dataset(dataset_config(args));
+
+  Rng model_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 1);
+  auto model = make_model(model_name, model_rng);
+  core::TrainConfig train;
+  train.epochs = args.get_int("epochs", 20);
+  train.accumulation = args.get_int("accumulation", 1);
+  train.lr0 = 1e-3f;
+  train.verbose = true;
+  Rng train_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 2);
+  const double loss = core::train_model(
+      *model, eval::to_train_samples(dataset.train), train, train_rng);
+  nn::save_parameters(*model, ckpt);
+  std::printf("trained %s (final loss %.4f), checkpoint: %s\n",
+              model->name().c_str(), loss, ckpt.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const CliArgs& args) {
+  const auto model_name = args.get("model", "sdm");
+  const auto ckpt = args.get("ckpt", model_name + ".ckpt");
+  const auto dataset = eval::build_dataset(dataset_config(args));
+  Rng model_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 1);
+  auto model = make_model(model_name, model_rng);
+  nn::load_parameters(*model, ckpt);
+  const auto result = eval::evaluate_model(*model, dataset);
+  std::printf("%s", eval::format_results_table(
+                        {result}, dataset.mean_rigorous_seconds())
+                        .c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "usage: sdmpeb_cli <simulate|train|evaluate> [--key value ...]\n"
+      "  common:   --clips N --seed S --bake-seconds T\n"
+      "  simulate: --out DIR\n"
+      "  train:    --model sdm|deepcnn|tempo|fno|deepeb --epochs E "
+      "--out CKPT\n"
+      "  evaluate: --model M --ckpt CKPT\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  try {
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  print_usage();
+  return args.command.empty() ? 1 : 2;
+}
