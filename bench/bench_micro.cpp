@@ -1,10 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical kernels:
 // the fused selective scan (vs. a naive per-timestep autograd composition —
 // the DESIGN.md §4 ablation), FFT, convolutions, attention, one rigorous
-// PEB step, and the Eikonal solve.
+// PEB step, and the Eikonal solve. After the gbench run, main() sweeps the
+// worker-pool width over {1, 2, max} for the three hottest kernels and
+// writes speedup columns to bench_out/micro_thread_scaling.csv.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "core/attention.hpp"
 #include "core/sdm_unit.hpp"
 #include "develop/eikonal.hpp"
@@ -231,6 +240,118 @@ BENCHMARK(BM_EikonalSolveFsm)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// --- thread scaling sweep ----------------------------------------------------
+// Times the three hottest parallelised paths (dense conv forward+backward,
+// matmul, one rigorous PEB step) at pool widths {1, 2, hardware max} and
+// reports speedup relative to the single-thread run. Each kernel also
+// returns a result fingerprint so the sweep doubles as a determinism check:
+// every width must reproduce the width-1 bytes exactly.
+
+struct SweepKernel {
+  std::string name;
+  int repeats;
+  std::function<std::vector<float>()> run;  ///< one timed repeat -> fingerprint
+};
+
+std::vector<SweepKernel> sweep_kernels() {
+  std::vector<SweepKernel> kernels;
+
+  kernels.push_back({"conv2d_fwd_bwd", 5, [] {
+    auto x = random_value(Shape{8, 16, 32, 32}, 13, true);
+    auto w = random_value(Shape{8, 8, 3, 3}, 14, true);
+    auto b = random_value(Shape{8}, 15, true);
+    auto loss = nnops::mean(nnops::square(nnops::conv2d_per_depth(x, w, b, 1, 1)));
+    nn::backward(loss);
+    std::vector<float> fp;
+    fp.push_back(loss->value()[0]);
+    const Tensor& gw = w->grad();
+    for (std::int64_t i = 0; i < gw.numel(); ++i) fp.push_back(gw[i]);
+    return fp;
+  }});
+
+  kernels.push_back({"matmul_512", 5, [] {
+    auto a = random_value(Shape{512, 512}, 21);
+    auto b = random_value(Shape{512, 512}, 22);
+    auto y = nnops::matmul(a, b);
+    std::vector<float> fp;
+    const Tensor& v = y->value();
+    for (std::int64_t i = 0; i < v.numel(); i += 1024) fp.push_back(v[i]);
+    return fp;
+  }});
+
+  kernels.push_back({"peb_step_64", 3, [] {
+    peb::PebParams params;
+    const peb::PebSolver solver(params);
+    Rng rng(19);
+    Grid3 acid0(16, 64, 64);
+    for (auto& v : acid0.data()) v = rng.uniform(0.0, 0.9);
+    auto state = solver.initial_state(acid0);
+    solver.step(state);
+    std::vector<float> fp;
+    for (std::int64_t i = 0; i < state.acid.numel(); i += 256)
+      fp.push_back(static_cast<float>(
+          state.acid.data()[static_cast<std::size_t>(i)]));
+    return fp;
+  }});
+
+  return kernels;
+}
+
+void run_thread_scaling_sweep() {
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> widths = {1, 2, hw};
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+
+  std::printf("[bench] thread scaling sweep over widths {");
+  for (std::size_t i = 0; i < widths.size(); ++i)
+    std::printf("%s%d", i ? ", " : "", widths[i]);
+  std::printf("} (hardware_concurrency = %d)\n", hw);
+
+  CsvWriter csv({"kernel", "threads", "ms", "speedup", "bit_identical"});
+  for (auto& kernel : sweep_kernels()) {
+    double serial_ms = 0.0;
+    std::vector<float> serial_fp;
+    for (int threads : widths) {
+      parallel::set_thread_count(threads);
+      kernel.run();  // warm-up (also primes the pool)
+      Timer timer;
+      std::vector<float> fp;
+      for (int rep = 0; rep < kernel.repeats; ++rep) fp = kernel.run();
+      const double ms = timer.milliseconds() / kernel.repeats;
+      if (threads == 1) {
+        serial_ms = ms;
+        serial_fp = fp;
+      }
+      const bool identical =
+          fp.size() == serial_fp.size() &&
+          std::memcmp(fp.data(), serial_fp.data(),
+                      fp.size() * sizeof(float)) == 0;
+      if (!identical)
+        std::printf("[bench] WARNING: %s not bit-identical at %d threads\n",
+                    kernel.name.c_str(), threads);
+      csv.add_row({kernel.name, std::to_string(threads),
+                   std::to_string(ms),
+                   std::to_string(serial_ms > 0.0 ? serial_ms / ms : 1.0),
+                   identical ? "yes" : "no"});
+      std::printf("[bench] %-16s threads=%-2d %8.2f ms  speedup %.2fx\n",
+                  kernel.name.c_str(), threads, ms,
+                  serial_ms > 0.0 ? serial_ms / ms : 1.0);
+    }
+  }
+  sdmpeb::bench::ensure_output_dir();
+  const std::string path = "bench_out/micro_thread_scaling.csv";
+  csv.save(path);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_thread_scaling_sweep();
+  return 0;
+}

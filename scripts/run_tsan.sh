@@ -1,0 +1,27 @@
+#!/bin/bash
+# ThreadSanitizer gate for the deterministic worker pool: builds a separate
+# TSan tree (build-tsan/) and runs the tests that exercise concurrency —
+# the parallel runtime itself, the NN kernels, the PEB ADI sweeps, and the
+# litho convolution. Intended for CI; pass extra ctest args through, e.g.
+#   scripts/run_tsan.sh -R ParallelTest
+# Use SDMPEB_SANITIZE=address for the ASan variant of the same gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${SDMPEB_SANITIZE:-thread}"
+BUILD_DIR="build-${SANITIZER}san"
+
+cmake -B "$BUILD_DIR" -S . -DSDMPEB_SANITIZE="$SANITIZER"
+cmake --build "$BUILD_DIR" -j \
+  --target parallel_test peb_test nn_autograd_test litho_test fft_test \
+           tensor_test
+
+# Stress the pool wider than the (possibly single-core) CI box so lock
+# ordering and chunk handoff actually interleave under TSan.
+export SDMPEB_THREADS="${SDMPEB_THREADS:-4}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -R \
+  'Parallel|Tridiag|Peb|Autograd|Litho|Fft|Tensor' "$@"
+echo "SANITIZE_${SANITIZER}_OK"

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sdmpeb::parallel {
+
+/// Shared deterministic worker pool for the NN kernels, the rigorous PEB
+/// sweeps, and the litho convolutions.
+///
+/// Determinism contract: work is split into static chunks whose boundaries
+/// depend ONLY on (begin, end, grain) — never on the thread count — and each
+/// chunk is executed by exactly one thread. Pure per-element maps are
+/// therefore bitwise identical for any pool width by construction; ordered
+/// reductions combine per-chunk partials in ascending chunk index (see
+/// reduce()), which fixes the floating-point summation tree independently of
+/// scheduling. Running with SDMPEB_THREADS=1 executes the exact same chunked
+/// code path serially, so single- and multi-threaded results match bit for
+/// bit.
+
+/// Pool width (>= 1). Resolved lazily on first use from the SDMPEB_THREADS
+/// environment variable: unset or 0 means hardware_concurrency; 1 disables
+/// threading entirely (every loop runs inline on the caller).
+int thread_count();
+
+/// Rebuild the pool with an explicit width (tests and benches sweep this).
+/// n <= 0 resolves to hardware_concurrency. Not safe to call concurrently
+/// with in-flight parallel loops.
+void set_thread_count(int n);
+
+/// Number of static chunks [begin, end) splits into at the given grain
+/// (ceil((end - begin) / grain); 0 for an empty range).
+std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
+                         std::int64_t grain);
+
+/// Run fn(chunk_index, chunk_begin, chunk_end) for every static chunk of
+/// [begin, end). Chunks may execute on any thread and in any order, but each
+/// chunk runs exactly once and chunk boundaries are scheduling-independent.
+/// Nested calls (from inside a worker) execute inline to avoid deadlock.
+/// The first exception thrown by a chunk is rethrown on the caller.
+void for_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                const std::function<void(std::int64_t, std::int64_t,
+                                         std::int64_t)>& fn);
+
+/// Chunked parallel loop: fn(chunk_begin, chunk_end). The workhorse for
+/// loops whose iterations write disjoint outputs. Grain-size guidance: pick
+/// a grain so one chunk is roughly 10 µs of work (big enough to amortise
+/// dispatch, small enough to balance load); for loops that feed an ordered
+/// reduction the grain must be a fixed constant, since it shapes the
+/// floating-point combination tree.
+inline void parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  for_chunks(begin, end, grain,
+             [&fn](std::int64_t, std::int64_t cb, std::int64_t ce) {
+               fn(cb, ce);
+             });
+}
+
+/// Deterministic ordered reduction: chunk_fn(chunk_begin, chunk_end) -> T
+/// computes one partial per static chunk; partials are folded with
+/// combine(acc, partial) in ascending chunk order on the calling thread, so
+/// the result is bitwise identical for any thread count.
+template <typename T, typename ChunkFn, typename CombineFn>
+T reduce(std::int64_t begin, std::int64_t end, std::int64_t grain, T init,
+         const ChunkFn& chunk_fn, const CombineFn& combine) {
+  const auto chunks = chunk_count(begin, end, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partials(static_cast<std::size_t>(chunks), init);
+  for_chunks(begin, end, grain,
+             [&](std::int64_t c, std::int64_t cb, std::int64_t ce) {
+               partials[static_cast<std::size_t>(c)] = chunk_fn(cb, ce);
+             });
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+/// Default grain for flat elementwise loops (maps and per-element backward
+/// accumulations). Fixed so reductions layered on flat chunks stay
+/// reproducible across processes.
+inline constexpr std::int64_t kFlatGrain = 32768;
+
+/// Fixed grain for ordered scalar reductions (Tensor::sum and friends).
+inline constexpr std::int64_t kReduceGrain = 65536;
+
+}  // namespace sdmpeb::parallel

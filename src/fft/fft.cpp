@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace sdmpeb::fft {
 
@@ -67,28 +68,44 @@ void fft3(std::vector<Complex>& grid, std::int64_t depth, std::int64_t height,
           std::int64_t width, bool inverse) {
   SDMPEB_CHECK(static_cast<std::int64_t>(grid.size()) ==
                depth * height * width);
+  // Each 1-D line transform touches a disjoint slice of the grid, so every
+  // pencil pass is an independent batch (pure map — chunking never affects
+  // the values).
   // Along W (contiguous lines).
-  for (std::int64_t d = 0; d < depth; ++d)
-    for (std::int64_t h = 0; h < height; ++h)
-      fft_strided(grid.data() + (d * height + h) * width, width, 1, inverse);
+  parallel::parallel_for(
+      0, depth * height, 8, [&](std::int64_t l0, std::int64_t l1) {
+        for (std::int64_t l = l0; l < l1; ++l)
+          fft_strided(grid.data() + l * width, width, 1, inverse);
+      });
   // Along H.
-  for (std::int64_t d = 0; d < depth; ++d)
-    for (std::int64_t w = 0; w < width; ++w)
-      fft_strided(grid.data() + d * height * width + w, height, width,
-                  inverse);
+  parallel::parallel_for(
+      0, depth * width, 8, [&](std::int64_t l0, std::int64_t l1) {
+        for (std::int64_t l = l0; l < l1; ++l) {
+          const auto d = l / width;
+          const auto w = l % width;
+          fft_strided(grid.data() + d * height * width + w, height, width,
+                      inverse);
+        }
+      });
   // Along D.
-  for (std::int64_t h = 0; h < height; ++h)
-    for (std::int64_t w = 0; w < width; ++w)
-      fft_strided(grid.data() + h * width + w, depth, height * width, inverse);
+  parallel::parallel_for(
+      0, height * width, 8, [&](std::int64_t l0, std::int64_t l1) {
+        for (std::int64_t l = l0; l < l1; ++l)
+          fft_strided(grid.data() + l, depth, height * width, inverse);
+      });
 }
 
 void fft2(std::vector<Complex>& grid, std::int64_t height, std::int64_t width,
           bool inverse) {
   SDMPEB_CHECK(static_cast<std::int64_t>(grid.size()) == height * width);
-  for (std::int64_t h = 0; h < height; ++h)
-    fft_strided(grid.data() + h * width, width, 1, inverse);
-  for (std::int64_t w = 0; w < width; ++w)
-    fft_strided(grid.data() + w, height, width, inverse);
+  parallel::parallel_for(0, height, 8, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t h = h0; h < h1; ++h)
+      fft_strided(grid.data() + h * width, width, 1, inverse);
+  });
+  parallel::parallel_for(0, width, 8, [&](std::int64_t w0, std::int64_t w1) {
+    for (std::int64_t w = w0; w < w1; ++w)
+      fft_strided(grid.data() + w, height, width, inverse);
+  });
 }
 
 }  // namespace sdmpeb::fft

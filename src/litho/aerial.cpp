@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace sdmpeb::litho {
 
@@ -33,22 +34,26 @@ Tensor convolve_axis(const Tensor& image, const std::vector<float>& kernel,
   const auto width = image.dim(1);
   const auto radius = static_cast<std::int64_t>(kernel.size() / 2);
   Tensor out(image.shape());
-  for (std::int64_t h = 0; h < height; ++h) {
-    for (std::int64_t w = 0; w < width; ++w) {
-      double acc = 0.0;
-      for (std::int64_t k = -radius; k <= radius; ++k) {
-        std::int64_t hh = h;
-        std::int64_t ww = w;
-        if (along_rows)
-          ww = std::clamp<std::int64_t>(w + k, 0, width - 1);
-        else
-          hh = std::clamp<std::int64_t>(h + k, 0, height - 1);
-        acc += static_cast<double>(image.at(hh, ww)) *
-               static_cast<double>(kernel[static_cast<std::size_t>(k + radius)]);
+  // Output rows are independent (the input is read-only).
+  parallel::parallel_for(0, height, 16, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t h = h0; h < h1; ++h) {
+      for (std::int64_t w = 0; w < width; ++w) {
+        double acc = 0.0;
+        for (std::int64_t k = -radius; k <= radius; ++k) {
+          std::int64_t hh = h;
+          std::int64_t ww = w;
+          if (along_rows)
+            ww = std::clamp<std::int64_t>(w + k, 0, width - 1);
+          else
+            hh = std::clamp<std::int64_t>(h + k, 0, height - 1);
+          acc += static_cast<double>(image.at(hh, ww)) *
+                 static_cast<double>(
+                     kernel[static_cast<std::size_t>(k + radius)]);
+        }
+        out.at(h, w) = static_cast<float>(acc);
       }
-      out.at(h, w) = static_cast<float>(acc);
     }
-  }
+  });
   return out;
 }
 
@@ -74,27 +79,31 @@ Grid3 simulate_aerial_image(const MaskClip& mask, const AerialParams& params) {
       params.psf_scale * params.wavelength_nm / params.numerical_aperture;
   Grid3 aerial(depth, height, width);
 
-  for (std::int64_t d = 0; d < depth; ++d) {
-    const double z_nm = static_cast<double>(d) * params.z_pixel_nm;
-    const double sigma_nm =
-        sigma0_nm * (1.0 + params.defocus_rate_per_nm * z_nm);
-    const double sigma_px = std::max(0.5, sigma_nm / mask.pixel_nm);
-    const Tensor blurred = gaussian_blur2d(mask.pixels, sigma_px);
+  // Depth slices are independent (each writes its own plane of the volume);
+  // the inner blur runs inline when called from a worker.
+  parallel::parallel_for(0, depth, 1, [&](std::int64_t d0, std::int64_t d1) {
+    for (std::int64_t d = d0; d < d1; ++d) {
+      const double z_nm = static_cast<double>(d) * params.z_pixel_nm;
+      const double sigma_nm =
+          sigma0_nm * (1.0 + params.defocus_rate_per_nm * z_nm);
+      const double sigma_px = std::max(0.5, sigma_nm / mask.pixel_nm);
+      const Tensor blurred = gaussian_blur2d(mask.pixels, sigma_px);
 
-    double modulation = 1.0;
-    if (params.standing_wave_amplitude > 0.0) {
-      const double period_nm =
-          params.wavelength_nm / (2.0 * params.resist_refractive_index);
-      modulation = 1.0 + params.standing_wave_amplitude *
-                             std::cos(2.0 * M_PI * z_nm / period_nm);
+      double modulation = 1.0;
+      if (params.standing_wave_amplitude > 0.0) {
+        const double period_nm =
+            params.wavelength_nm / (2.0 * params.resist_refractive_index);
+        modulation = 1.0 + params.standing_wave_amplitude *
+                               std::cos(2.0 * M_PI * z_nm / period_nm);
+      }
+      const double attenuation = std::exp(-params.absorption_per_nm * z_nm);
+      const double scale = attenuation * modulation;
+      for (std::int64_t h = 0; h < height; ++h)
+        for (std::int64_t w = 0; w < width; ++w)
+          aerial.at(d, h, w) =
+              scale * static_cast<double>(blurred.at(h, w));
     }
-    const double attenuation = std::exp(-params.absorption_per_nm * z_nm);
-    const double scale = attenuation * modulation;
-    for (std::int64_t h = 0; h < height; ++h)
-      for (std::int64_t w = 0; w < width; ++w)
-        aerial.at(d, h, w) =
-            scale * static_cast<double>(blurred.at(h, w));
-  }
+  });
   return aerial;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace sdmpeb::litho {
 
@@ -35,36 +36,41 @@ Grid3 simulate_aerial_image_socs(const MaskClip& mask,
   for (auto& w : weights) w /= weight_sum;
 
   Grid3 aerial(depth, height, width);
-  for (std::int64_t d = 0; d < depth; ++d) {
-    const double z_nm = static_cast<double>(d) * optics.z_pixel_nm;
-    const double defocus = 1.0 + optics.defocus_rate_per_nm * z_nm;
+  // Each depth evaluates its own SOCS kernel stack into its own plane of
+  // the volume: a pure map over depth slices.
+  parallel::parallel_for(0, depth, 1, [&](std::int64_t d0, std::int64_t d1) {
+    for (std::int64_t d = d0; d < d1; ++d) {
+      const double z_nm = static_cast<double>(d) * optics.z_pixel_nm;
+      const double defocus = 1.0 + optics.defocus_rate_per_nm * z_nm;
 
-    // Incoherent sum of coherent Gaussian systems at this depth.
-    Tensor intensity(Shape{height, width});
-    for (std::size_t k = 0; k < weights.size(); ++k) {
-      const double sigma_nm =
-          sigma0_nm * (1.0 + params.sigma_spread * static_cast<double>(k)) *
-          defocus;
-      const double sigma_px = std::max(0.5, sigma_nm / mask.pixel_nm);
-      const Tensor field = gaussian_blur2d(mask.pixels, sigma_px);
-      const auto wk = static_cast<float>(weights[k]);
-      for (std::int64_t i = 0; i < intensity.numel(); ++i)
-        intensity[i] += wk * field[i] * field[i];
-    }
+      // Incoherent sum of coherent Gaussian systems at this depth.
+      Tensor intensity(Shape{height, width});
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        const double sigma_nm =
+            sigma0_nm *
+            (1.0 + params.sigma_spread * static_cast<double>(k)) * defocus;
+        const double sigma_px = std::max(0.5, sigma_nm / mask.pixel_nm);
+        const Tensor field = gaussian_blur2d(mask.pixels, sigma_px);
+        const auto wk = static_cast<float>(weights[k]);
+        for (std::int64_t i = 0; i < intensity.numel(); ++i)
+          intensity[i] += wk * field[i] * field[i];
+      }
 
-    double modulation = 1.0;
-    if (optics.standing_wave_amplitude > 0.0) {
-      const double period_nm =
-          optics.wavelength_nm / (2.0 * optics.resist_refractive_index);
-      modulation = 1.0 + optics.standing_wave_amplitude *
-                             std::cos(2.0 * M_PI * z_nm / period_nm);
+      double modulation = 1.0;
+      if (optics.standing_wave_amplitude > 0.0) {
+        const double period_nm =
+            optics.wavelength_nm / (2.0 * optics.resist_refractive_index);
+        modulation = 1.0 + optics.standing_wave_amplitude *
+                               std::cos(2.0 * M_PI * z_nm / period_nm);
+      }
+      const double scale =
+          std::exp(-optics.absorption_per_nm * z_nm) * modulation;
+      for (std::int64_t h = 0; h < height; ++h)
+        for (std::int64_t w = 0; w < width; ++w)
+          aerial.at(d, h, w) =
+              scale * static_cast<double>(intensity.at(h, w));
     }
-    const double scale =
-        std::exp(-optics.absorption_per_nm * z_nm) * modulation;
-    for (std::int64_t h = 0; h < height; ++h)
-      for (std::int64_t w = 0; w < width; ++w)
-        aerial.at(d, h, w) = scale * static_cast<double>(intensity.at(h, w));
-  }
+  });
   return aerial;
 }
 

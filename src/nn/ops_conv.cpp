@@ -1,4 +1,5 @@
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -6,6 +7,13 @@
 // loops use raw row-major indexing (the bounds-checked Tensor::at() is far
 // too slow at O(N·k^2..k^3) access counts — these loops dominate training
 // time).
+//
+// Parallelisation (see common/parallel.hpp): forward passes split over
+// independent output planes, so every output element is written by exactly
+// one chunk. Backward passes split over an axis that keeps the input
+// gradient writes disjoint; gradient accumulators shared across that axis
+// (weight and bias grads) go through per-chunk partial buffers folded in
+// chunk order, which keeps results bitwise identical for any thread count.
 
 namespace sdmpeb::nn::ops {
 
@@ -18,6 +26,16 @@ std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
                             << " k=" << kernel << " s=" << stride
                             << " p=" << pad << ")");
   return out;
+}
+
+/// Fold per-chunk partial gradient buffers into the destination in chunk
+/// order (the deterministic combination tree).
+void fold_partials(float* dst, const std::vector<std::vector<float>>& parts,
+                   std::int64_t size) {
+  for (const auto& part : parts) {
+    if (part.empty()) continue;
+    for (std::int64_t i = 0; i < size; ++i) dst[i] += part[i];
+  }
 }
 
 }  // namespace
@@ -42,34 +60,39 @@ Value conv2d_per_depth(const Value& x, const Value& w, const Value& bias,
   {
     const float* px = xv.raw();
     const float* pw = wv.raw();
+    const float* pb = bias ? bias->value().raw() : nullptr;
     float* po = out.raw();
-    for (std::int64_t d = 0; d < depth; ++d) {
-      for (std::int64_t co = 0; co < cout; ++co) {
-        const float b = bias ? bias->value()[co] : 0.0f;
-        float* orow_base = po + (co * depth + d) * hout * wout;
-        for (std::int64_t ho = 0; ho < hout; ++ho) {
-          for (std::int64_t wo = 0; wo < wout; ++wo) {
-            double acc = b;
-            for (std::int64_t ci = 0; ci < cin; ++ci) {
-              const float* xbase = px + (ci * depth + d) * hin * win;
-              const float* wbase = pw + (co * cin + ci) * kh * kw;
-              for (std::int64_t i = 0; i < kh; ++i) {
-                const auto hi = ho * stride - pad + i;
-                if (hi < 0 || hi >= hin) continue;
-                const float* xrow = xbase + hi * win;
-                const float* wrow = wbase + i * kw;
-                for (std::int64_t j = 0; j < kw; ++j) {
-                  const auto wi = wo * stride - pad + j;
-                  if (wi < 0 || wi >= win) continue;
-                  acc += static_cast<double>(xrow[wi]) * wrow[j];
+    // One task per (d, co) output plane; planes are disjoint.
+    parallel::parallel_for(
+        0, depth * cout, 1, [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const auto d = p / cout;
+            const auto co = p % cout;
+            const float b = pb ? pb[co] : 0.0f;
+            float* orow_base = po + (co * depth + d) * hout * wout;
+            for (std::int64_t ho = 0; ho < hout; ++ho) {
+              for (std::int64_t wo = 0; wo < wout; ++wo) {
+                double acc = b;
+                for (std::int64_t ci = 0; ci < cin; ++ci) {
+                  const float* xbase = px + (ci * depth + d) * hin * win;
+                  const float* wbase = pw + (co * cin + ci) * kh * kw;
+                  for (std::int64_t i = 0; i < kh; ++i) {
+                    const auto hi = ho * stride - pad + i;
+                    if (hi < 0 || hi >= hin) continue;
+                    const float* xrow = xbase + hi * win;
+                    const float* wrow = wbase + i * kw;
+                    for (std::int64_t j = 0; j < kw; ++j) {
+                      const auto wi = wo * stride - pad + j;
+                      if (wi < 0 || wi >= win) continue;
+                      acc += static_cast<double>(xrow[wi]) * wrow[j];
+                    }
+                  }
                 }
+                orow_base[ho * wout + wo] = static_cast<float>(acc);
               }
             }
-            orow_base[ho * wout + wo] = static_cast<float>(acc);
           }
-        }
-      }
-    }
+        });
   }
 
   Value xc = x, wc = w, bc = bias;
@@ -93,34 +116,64 @@ Value conv2d_per_depth(const Value& x, const Value& w, const Value& bias,
         const float* pw = wv.raw();
         float* pgx = need_x ? xc->grad().raw() : nullptr;
         float* pgw = need_w ? wc->grad().raw() : nullptr;
-        for (std::int64_t d = 0; d < depth; ++d) {
-          for (std::int64_t co = 0; co < cout; ++co) {
-            const float* grow_base = pg + (co * depth + d) * hout * wout;
-            for (std::int64_t ho = 0; ho < hout; ++ho) {
-              for (std::int64_t wo = 0; wo < wout; ++wo) {
-                const float go = grow_base[ho * wout + wo];
-                if (go == 0.0f) continue;
-                if (need_b) bc->grad()[co] += go;
-                for (std::int64_t ci = 0; ci < cin; ++ci) {
-                  const auto xoff = (ci * depth + d) * hin * win;
-                  const auto woff = (co * cin + ci) * kh * kw;
-                  for (std::int64_t i = 0; i < kh; ++i) {
-                    const auto hi = ho * stride - pad + i;
-                    if (hi < 0 || hi >= hin) continue;
-                    for (std::int64_t j = 0; j < kw; ++j) {
-                      const auto wi = wo * stride - pad + j;
-                      if (wi < 0 || wi >= win) continue;
-                      if (need_x)
-                        pgx[xoff + hi * win + wi] += go * pw[woff + i * kw + j];
-                      if (need_w)
-                        pgw[woff + i * kw + j] += go * px[xoff + hi * win + wi];
+        float* pgb = need_b ? bc->grad().raw() : nullptr;
+        // Split over depth: x-gradient writes are depth-disjoint; weight and
+        // bias grads are shared across depth, so they accumulate into
+        // per-chunk partials folded in chunk order below.
+        const auto wsize = cout * cin * kh * kw;
+        const auto chunks = parallel::chunk_count(0, depth, 1);
+        std::vector<std::vector<float>> gw_parts(
+            need_w ? static_cast<std::size_t>(chunks) : 0);
+        std::vector<std::vector<float>> gb_parts(
+            need_b ? static_cast<std::size_t>(chunks) : 0);
+        parallel::for_chunks(
+            0, depth, 1,
+            [&](std::int64_t chunk, std::int64_t d0, std::int64_t d1) {
+              float* gwp = nullptr;
+              float* gbp = nullptr;
+              if (need_w) {
+                auto& buf = gw_parts[static_cast<std::size_t>(chunk)];
+                buf.assign(static_cast<std::size_t>(wsize), 0.0f);
+                gwp = buf.data();
+              }
+              if (need_b) {
+                auto& buf = gb_parts[static_cast<std::size_t>(chunk)];
+                buf.assign(static_cast<std::size_t>(cout), 0.0f);
+                gbp = buf.data();
+              }
+              for (std::int64_t d = d0; d < d1; ++d) {
+                for (std::int64_t co = 0; co < cout; ++co) {
+                  const float* grow_base = pg + (co * depth + d) * hout * wout;
+                  for (std::int64_t ho = 0; ho < hout; ++ho) {
+                    for (std::int64_t wo = 0; wo < wout; ++wo) {
+                      const float go = grow_base[ho * wout + wo];
+                      if (go == 0.0f) continue;
+                      if (need_b) gbp[co] += go;
+                      for (std::int64_t ci = 0; ci < cin; ++ci) {
+                        const auto xoff = (ci * depth + d) * hin * win;
+                        const auto woff = (co * cin + ci) * kh * kw;
+                        for (std::int64_t i = 0; i < kh; ++i) {
+                          const auto hi = ho * stride - pad + i;
+                          if (hi < 0 || hi >= hin) continue;
+                          for (std::int64_t j = 0; j < kw; ++j) {
+                            const auto wi = wo * stride - pad + j;
+                            if (wi < 0 || wi >= win) continue;
+                            if (need_x)
+                              pgx[xoff + hi * win + wi] +=
+                                  go * pw[woff + i * kw + j];
+                            if (need_w)
+                              gwp[woff + i * kw + j] +=
+                                  go * px[xoff + hi * win + wi];
+                          }
+                        }
+                      }
                     }
                   }
                 }
               }
-            }
-          }
-        }
+            });
+        if (need_w) fold_partials(pgw, gw_parts, wsize);
+        if (need_b) fold_partials(pgb, gb_parts, cout);
       });
 }
 
@@ -144,36 +197,41 @@ Value conv_transpose2d_per_depth(const Value& x, const Value& w,
   {
     float* po = out.raw();
     if (bias) {
+      const float* pb = bias->value().raw();
       for (std::int64_t co = 0; co < cout; ++co) {
-        const float b = bias->value()[co];
+        const float b = pb[co];
         float* dst = po + co * depth * hout * wout;
         for (std::int64_t i = 0; i < depth * hout * wout; ++i) dst[i] = b;
       }
     }
     const float* px = xv.raw();
     const float* pw = wv.raw();
-    for (std::int64_t d = 0; d < depth; ++d)
-      for (std::int64_t ci = 0; ci < cin; ++ci) {
-        const float* xbase = px + (ci * depth + d) * hin * win;
-        for (std::int64_t h = 0; h < hin; ++h)
-          for (std::int64_t ww = 0; ww < win; ++ww) {
-            const float xval = xbase[h * win + ww];
-            if (xval == 0.0f) continue;
-            for (std::int64_t co = 0; co < cout; ++co) {
-              const float* wbase = pw + (ci * cout + co) * kh * kw;
-              float* obase = po + (co * depth + d) * hout * wout;
-              for (std::int64_t i = 0; i < kh; ++i) {
-                const auto ho = h * stride - pad + i;
-                if (ho < 0 || ho >= hout) continue;
-                for (std::int64_t j = 0; j < kw; ++j) {
-                  const auto wo = ww * stride - pad + j;
-                  if (wo < 0 || wo >= wout) continue;
-                  obase[ho * wout + wo] += xval * wbase[i * kw + j];
+    // The scatter writes land in the (co, d) plane of the source depth, so
+    // splitting over depth keeps output writes disjoint.
+    parallel::parallel_for(0, depth, 1, [&](std::int64_t d0, std::int64_t d1) {
+      for (std::int64_t d = d0; d < d1; ++d)
+        for (std::int64_t ci = 0; ci < cin; ++ci) {
+          const float* xbase = px + (ci * depth + d) * hin * win;
+          for (std::int64_t h = 0; h < hin; ++h)
+            for (std::int64_t ww = 0; ww < win; ++ww) {
+              const float xval = xbase[h * win + ww];
+              if (xval == 0.0f) continue;
+              for (std::int64_t co = 0; co < cout; ++co) {
+                const float* wbase = pw + (ci * cout + co) * kh * kw;
+                float* obase = po + (co * depth + d) * hout * wout;
+                for (std::int64_t i = 0; i < kh; ++i) {
+                  const auto ho = h * stride - pad + i;
+                  if (ho < 0 || ho >= hout) continue;
+                  for (std::int64_t j = 0; j < kw; ++j) {
+                    const auto wo = ww * stride - pad + j;
+                    if (wo < 0 || wo >= wout) continue;
+                    obase[ho * wout + wo] += xval * wbase[i * kw + j];
+                  }
                 }
               }
             }
-          }
-      }
+        }
+    });
   }
 
   Value xc = x, wc = w, bc = bias;
@@ -197,43 +255,65 @@ Value conv_transpose2d_per_depth(const Value& x, const Value& w,
         float* pgx = need_x ? xc->grad().raw() : nullptr;
         float* pgw = need_w ? wc->grad().raw() : nullptr;
         if (bc && bc->requires_grad()) {
+          float* pgb = bc->grad().raw();
           for (std::int64_t co = 0; co < cout; ++co) {
             double acc = 0.0;
             const float* base = pg + co * depth * hout * wout;
             for (std::int64_t i = 0; i < depth * hout * wout; ++i)
               acc += base[i];
-            bc->grad()[co] += static_cast<float>(acc);
+            pgb[co] += static_cast<float>(acc);
           }
         }
         if (!need_x && !need_w) return;
-        for (std::int64_t d = 0; d < depth; ++d)
-          for (std::int64_t ci = 0; ci < cin; ++ci) {
-            const auto xoff = (ci * depth + d) * hin * win;
-            for (std::int64_t h = 0; h < hin; ++h)
-              for (std::int64_t ww = 0; ww < win; ++ww) {
-                double gx_acc = 0.0;
-                const float xval = px[xoff + h * win + ww];
-                for (std::int64_t co = 0; co < cout; ++co) {
-                  const float* wbase = pw + (ci * cout + co) * kh * kw;
-                  float* gwbase =
-                      need_w ? pgw + (ci * cout + co) * kh * kw : nullptr;
-                  const float* gbase = pg + (co * depth + d) * hout * wout;
-                  for (std::int64_t i = 0; i < kh; ++i) {
-                    const auto ho = h * stride - pad + i;
-                    if (ho < 0 || ho >= hout) continue;
-                    for (std::int64_t j = 0; j < kw; ++j) {
-                      const auto wo = ww * stride - pad + j;
-                      if (wo < 0 || wo >= wout) continue;
-                      const float go = gbase[ho * wout + wo];
-                      gx_acc += static_cast<double>(go) * wbase[i * kw + j];
-                      if (need_w) gwbase[i * kw + j] += go * xval;
-                    }
-                  }
-                }
-                if (need_x)
-                  pgx[xoff + h * win + ww] += static_cast<float>(gx_acc);
+        // Depth split again: gx writes are depth-disjoint, gw goes through
+        // chunk partials.
+        const auto wsize = cin * cout * kh * kw;
+        const auto chunks = parallel::chunk_count(0, depth, 1);
+        std::vector<std::vector<float>> gw_parts(
+            need_w ? static_cast<std::size_t>(chunks) : 0);
+        parallel::for_chunks(
+            0, depth, 1,
+            [&](std::int64_t chunk, std::int64_t d0, std::int64_t d1) {
+              float* gwp = nullptr;
+              if (need_w) {
+                auto& buf = gw_parts[static_cast<std::size_t>(chunk)];
+                buf.assign(static_cast<std::size_t>(wsize), 0.0f);
+                gwp = buf.data();
               }
-          }
+              for (std::int64_t d = d0; d < d1; ++d)
+                for (std::int64_t ci = 0; ci < cin; ++ci) {
+                  const auto xoff = (ci * depth + d) * hin * win;
+                  for (std::int64_t h = 0; h < hin; ++h)
+                    for (std::int64_t ww = 0; ww < win; ++ww) {
+                      double gx_acc = 0.0;
+                      const float xval = px[xoff + h * win + ww];
+                      for (std::int64_t co = 0; co < cout; ++co) {
+                        const float* wbase = pw + (ci * cout + co) * kh * kw;
+                        float* gwbase =
+                            need_w ? gwp + (ci * cout + co) * kh * kw
+                                   : nullptr;
+                        const float* gbase =
+                            pg + (co * depth + d) * hout * wout;
+                        for (std::int64_t i = 0; i < kh; ++i) {
+                          const auto ho = h * stride - pad + i;
+                          if (ho < 0 || ho >= hout) continue;
+                          for (std::int64_t j = 0; j < kw; ++j) {
+                            const auto wo = ww * stride - pad + j;
+                            if (wo < 0 || wo >= wout) continue;
+                            const float go = gbase[ho * wout + wo];
+                            gx_acc +=
+                                static_cast<double>(go) * wbase[i * kw + j];
+                            if (need_w) gwbase[i * kw + j] += go * xval;
+                          }
+                        }
+                      }
+                      if (need_x)
+                        pgx[xoff + h * win + ww] +=
+                            static_cast<float>(gx_acc);
+                    }
+                }
+            });
+        if (need_w) fold_partials(pgw, gw_parts, wsize);
       });
 }
 
@@ -256,36 +336,42 @@ Value conv3d(const Value& x, const Value& w, const Value& bias,
   {
     const float* px = xv.raw();
     const float* pw = wv.raw();
+    const float* pb = bias ? bias->value().raw() : nullptr;
     float* po = out.raw();
-    for (std::int64_t co = 0; co < cout; ++co) {
-      const float b = bias ? bias->value()[co] : 0.0f;
-      for (std::int64_t od = 0; od < dout; ++od)
-        for (std::int64_t oh = 0; oh < hout; ++oh)
-          for (std::int64_t ow = 0; ow < wout; ++ow) {
-            double acc = b;
-            for (std::int64_t ci = 0; ci < cin; ++ci) {
-              const float* xch = px + ci * din * hin * win;
-              const float* wch = pw + (co * cin + ci) * kd * kh * kw;
-              for (std::int64_t a = 0; a < kd; ++a) {
-                const auto id = od * stride - pad + a;
-                if (id < 0 || id >= din) continue;
-                for (std::int64_t i = 0; i < kh; ++i) {
-                  const auto ih = oh * stride - pad + i;
-                  if (ih < 0 || ih >= hin) continue;
-                  const float* xrow = xch + (id * hin + ih) * win;
-                  const float* wrow = wch + (a * kh + i) * kw;
-                  for (std::int64_t j = 0; j < kw; ++j) {
-                    const auto iw = ow * stride - pad + j;
-                    if (iw < 0 || iw >= win) continue;
-                    acc += static_cast<double>(xrow[iw]) * wrow[j];
+    // One task per (co, od) output plane; planes are disjoint.
+    parallel::parallel_for(
+        0, cout * dout, 1, [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const auto co = p / dout;
+            const auto od = p % dout;
+            const float b = pb ? pb[co] : 0.0f;
+            for (std::int64_t oh = 0; oh < hout; ++oh)
+              for (std::int64_t ow = 0; ow < wout; ++ow) {
+                double acc = b;
+                for (std::int64_t ci = 0; ci < cin; ++ci) {
+                  const float* xch = px + ci * din * hin * win;
+                  const float* wch = pw + (co * cin + ci) * kd * kh * kw;
+                  for (std::int64_t a = 0; a < kd; ++a) {
+                    const auto id = od * stride - pad + a;
+                    if (id < 0 || id >= din) continue;
+                    for (std::int64_t i = 0; i < kh; ++i) {
+                      const auto ih = oh * stride - pad + i;
+                      if (ih < 0 || ih >= hin) continue;
+                      const float* xrow = xch + (id * hin + ih) * win;
+                      const float* wrow = wch + (a * kh + i) * kw;
+                      for (std::int64_t j = 0; j < kw; ++j) {
+                        const auto iw = ow * stride - pad + j;
+                        if (iw < 0 || iw >= win) continue;
+                        acc += static_cast<double>(xrow[iw]) * wrow[j];
+                      }
+                    }
                   }
                 }
+                po[((co * dout + od) * hout + oh) * wout + ow] =
+                    static_cast<float>(acc);
               }
-            }
-            po[((co * dout + od) * hout + oh) * wout + ow] =
-                static_cast<float>(acc);
           }
-    }
+        });
   }
 
   Value xc = x, wc = w, bc = bias;
@@ -310,35 +396,54 @@ Value conv3d(const Value& x, const Value& w, const Value& bias,
         const float* pw = wv.raw();
         float* pgx = need_x ? xc->grad().raw() : nullptr;
         float* pgw = need_w ? wc->grad().raw() : nullptr;
-        for (std::int64_t co = 0; co < cout; ++co)
-          for (std::int64_t od = 0; od < dout; ++od)
-            for (std::int64_t oh = 0; oh < hout; ++oh)
-              for (std::int64_t ow = 0; ow < wout; ++ow) {
-                const float go =
-                    pg[((co * dout + od) * hout + oh) * wout + ow];
-                if (go == 0.0f) continue;
-                if (need_b) bc->grad()[co] += go;
-                for (std::int64_t ci = 0; ci < cin; ++ci) {
-                  const auto xch = ci * din * hin * win;
-                  const auto wch = (co * cin + ci) * kd * kh * kw;
-                  for (std::int64_t a = 0; a < kd; ++a) {
-                    const auto id = od * stride - pad + a;
-                    if (id < 0 || id >= din) continue;
-                    for (std::int64_t i = 0; i < kh; ++i) {
-                      const auto ih = oh * stride - pad + i;
-                      if (ih < 0 || ih >= hin) continue;
-                      const auto xrow = xch + (id * hin + ih) * win;
-                      const auto wrow = wch + (a * kh + i) * kw;
-                      for (std::int64_t j = 0; j < kw; ++j) {
-                        const auto iw = ow * stride - pad + j;
-                        if (iw < 0 || iw >= win) continue;
-                        if (need_x) pgx[xrow + iw] += go * pw[wrow + j];
-                        if (need_w) pgw[wrow + j] += go * px[xrow + iw];
+        float* pgb = need_b ? bc->grad().raw() : nullptr;
+        // Split over output channels: weight and bias grads are co-disjoint;
+        // the x-gradient is shared across co, so it accumulates into
+        // per-chunk partials folded in chunk order.
+        const auto xsize = cin * din * hin * win;
+        const auto chunks = parallel::chunk_count(0, cout, 1);
+        std::vector<std::vector<float>> gx_parts(
+            need_x ? static_cast<std::size_t>(chunks) : 0);
+        parallel::for_chunks(
+            0, cout, 1,
+            [&](std::int64_t chunk, std::int64_t c0, std::int64_t c1) {
+              float* gxp = nullptr;
+              if (need_x) {
+                auto& buf = gx_parts[static_cast<std::size_t>(chunk)];
+                buf.assign(static_cast<std::size_t>(xsize), 0.0f);
+                gxp = buf.data();
+              }
+              for (std::int64_t co = c0; co < c1; ++co)
+                for (std::int64_t od = 0; od < dout; ++od)
+                  for (std::int64_t oh = 0; oh < hout; ++oh)
+                    for (std::int64_t ow = 0; ow < wout; ++ow) {
+                      const float go =
+                          pg[((co * dout + od) * hout + oh) * wout + ow];
+                      if (go == 0.0f) continue;
+                      if (need_b) pgb[co] += go;
+                      for (std::int64_t ci = 0; ci < cin; ++ci) {
+                        const auto xch = ci * din * hin * win;
+                        const auto wch = (co * cin + ci) * kd * kh * kw;
+                        for (std::int64_t a = 0; a < kd; ++a) {
+                          const auto id = od * stride - pad + a;
+                          if (id < 0 || id >= din) continue;
+                          for (std::int64_t i = 0; i < kh; ++i) {
+                            const auto ih = oh * stride - pad + i;
+                            if (ih < 0 || ih >= hin) continue;
+                            const auto xrow = xch + (id * hin + ih) * win;
+                            const auto wrow = wch + (a * kh + i) * kw;
+                            for (std::int64_t j = 0; j < kw; ++j) {
+                              const auto iw = ow * stride - pad + j;
+                              if (iw < 0 || iw >= win) continue;
+                              if (need_x) gxp[xrow + iw] += go * pw[wrow + j];
+                              if (need_w) pgw[wrow + j] += go * px[xrow + iw];
+                            }
+                          }
+                        }
                       }
                     }
-                  }
-                }
-              }
+            });
+        if (need_x) fold_partials(pgx, gx_parts, xsize);
       });
 }
 
@@ -361,34 +466,39 @@ Value dwconv3d(const Value& x, const Value& w, const Value& bias,
   {
     const float* px = xv.raw();
     const float* pw = wv.raw();
+    const float* pb = bias ? bias->value().raw() : nullptr;
     float* po = out.raw();
-    for (std::int64_t c = 0; c < channels; ++c) {
-      const float b = bias ? bias->value()[c] : 0.0f;
-      const float* xch = px + c * din * hin * win;
-      const float* wch = pw + c * kd * kh * kw;
-      float* och = po + c * dout * hout * wout;
-      for (std::int64_t od = 0; od < dout; ++od)
-        for (std::int64_t oh = 0; oh < hout; ++oh)
-          for (std::int64_t ow = 0; ow < wout; ++ow) {
-            double acc = b;
-            for (std::int64_t a = 0; a < kd; ++a) {
-              const auto id = od - pad + a;
-              if (id < 0 || id >= din) continue;
-              for (std::int64_t i = 0; i < kh; ++i) {
-                const auto ih = oh - pad + i;
-                if (ih < 0 || ih >= hin) continue;
-                const float* xrow = xch + (id * hin + ih) * win;
-                const float* wrow = wch + (a * kh + i) * kw;
-                for (std::int64_t j = 0; j < kw; ++j) {
-                  const auto iw = ow - pad + j;
-                  if (iw < 0 || iw >= win) continue;
-                  acc += static_cast<double>(xrow[iw]) * wrow[j];
+    // Depthwise: everything is channel-disjoint.
+    parallel::parallel_for(
+        0, channels, 1, [&](std::int64_t c0, std::int64_t c1) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            const float b = pb ? pb[c] : 0.0f;
+            const float* xch = px + c * din * hin * win;
+            const float* wch = pw + c * kd * kh * kw;
+            float* och = po + c * dout * hout * wout;
+            for (std::int64_t od = 0; od < dout; ++od)
+              for (std::int64_t oh = 0; oh < hout; ++oh)
+                for (std::int64_t ow = 0; ow < wout; ++ow) {
+                  double acc = b;
+                  for (std::int64_t a = 0; a < kd; ++a) {
+                    const auto id = od - pad + a;
+                    if (id < 0 || id >= din) continue;
+                    for (std::int64_t i = 0; i < kh; ++i) {
+                      const auto ih = oh - pad + i;
+                      if (ih < 0 || ih >= hin) continue;
+                      const float* xrow = xch + (id * hin + ih) * win;
+                      const float* wrow = wch + (a * kh + i) * kw;
+                      for (std::int64_t j = 0; j < kw; ++j) {
+                        const auto iw = ow - pad + j;
+                        if (iw < 0 || iw >= win) continue;
+                        acc += static_cast<double>(xrow[iw]) * wrow[j];
+                      }
+                    }
+                  }
+                  och[(od * hout + oh) * wout + ow] = static_cast<float>(acc);
                 }
-              }
-            }
-            och[(od * hout + oh) * wout + ow] = static_cast<float>(acc);
           }
-    }
+        });
   }
 
   Value xc = x, wc = w, bc = bias;
@@ -411,34 +521,39 @@ Value dwconv3d(const Value& x, const Value& w, const Value& bias,
         const float* pw = wv.raw();
         float* pgx = need_x ? xc->grad().raw() : nullptr;
         float* pgw = need_w ? wc->grad().raw() : nullptr;
-        for (std::int64_t c = 0; c < channels; ++c) {
-          const auto xch = c * din * hin * win;
-          const auto wch = c * kd * kh * kw;
-          const float* gch = pg + c * dout * hout * wout;
-          for (std::int64_t od = 0; od < dout; ++od)
-            for (std::int64_t oh = 0; oh < hout; ++oh)
-              for (std::int64_t ow = 0; ow < wout; ++ow) {
-                const float go = gch[(od * hout + oh) * wout + ow];
-                if (go == 0.0f) continue;
-                if (need_b) bc->grad()[c] += go;
-                for (std::int64_t a = 0; a < kd; ++a) {
-                  const auto id = od - pad + a;
-                  if (id < 0 || id >= din) continue;
-                  for (std::int64_t i = 0; i < kh; ++i) {
-                    const auto ih = oh - pad + i;
-                    if (ih < 0 || ih >= hin) continue;
-                    for (std::int64_t j = 0; j < kw; ++j) {
-                      const auto iw = ow - pad + j;
-                      if (iw < 0 || iw >= win) continue;
-                      const auto xi = xch + (id * hin + ih) * win + iw;
-                      const auto wi = wch + (a * kh + i) * kw + j;
-                      if (need_x) pgx[xi] += go * pw[wi];
-                      if (need_w) pgw[wi] += go * px[xi];
+        float* pgb = need_b ? bc->grad().raw() : nullptr;
+        // All three gradients are channel-disjoint: direct parallel writes.
+        parallel::parallel_for(
+            0, channels, 1, [&](std::int64_t c0, std::int64_t c1) {
+              for (std::int64_t c = c0; c < c1; ++c) {
+                const auto xch = c * din * hin * win;
+                const auto wch = c * kd * kh * kw;
+                const float* gch = pg + c * dout * hout * wout;
+                for (std::int64_t od = 0; od < dout; ++od)
+                  for (std::int64_t oh = 0; oh < hout; ++oh)
+                    for (std::int64_t ow = 0; ow < wout; ++ow) {
+                      const float go = gch[(od * hout + oh) * wout + ow];
+                      if (go == 0.0f) continue;
+                      if (need_b) pgb[c] += go;
+                      for (std::int64_t a = 0; a < kd; ++a) {
+                        const auto id = od - pad + a;
+                        if (id < 0 || id >= din) continue;
+                        for (std::int64_t i = 0; i < kh; ++i) {
+                          const auto ih = oh - pad + i;
+                          if (ih < 0 || ih >= hin) continue;
+                          for (std::int64_t j = 0; j < kw; ++j) {
+                            const auto iw = ow - pad + j;
+                            if (iw < 0 || iw >= win) continue;
+                            const auto xi = xch + (id * hin + ih) * win + iw;
+                            const auto wi = wch + (a * kh + i) * kw + j;
+                            if (need_x) pgx[xi] += go * pw[wi];
+                            if (need_w) pgw[wi] += go * px[xi];
+                          }
+                        }
+                      }
                     }
-                  }
-                }
               }
-        }
+            });
       });
 }
 
@@ -456,18 +571,21 @@ Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
   {
     const float* px = xv.raw();
     const float* pw = wv.raw();
+    const float* pb = bias ? bias->value().raw() : nullptr;
     float* po = out.raw();
-    for (std::int64_t l = 0; l < rows; ++l)
-      for (std::int64_t c = 0; c < cols; ++c) {
-        double acc = bias ? bias->value()[c] : 0.0f;
-        const float* wrow = pw + c * kernel;
-        for (std::int64_t k = 0; k < kernel; ++k) {
-          const auto ll = l - pad + k;
-          if (ll < 0 || ll >= rows) continue;
-          acc += static_cast<double>(px[ll * cols + c]) * wrow[k];
+    parallel::parallel_for(0, rows, 64, [&](std::int64_t l0, std::int64_t l1) {
+      for (std::int64_t l = l0; l < l1; ++l)
+        for (std::int64_t c = 0; c < cols; ++c) {
+          double acc = pb ? pb[c] : 0.0f;
+          const float* wrow = pw + c * kernel;
+          for (std::int64_t k = 0; k < kernel; ++k) {
+            const auto ll = l - pad + k;
+            if (ll < 0 || ll >= rows) continue;
+            acc += static_cast<double>(px[ll * cols + c]) * wrow[k];
+          }
+          po[l * cols + c] = static_cast<float>(acc);
         }
-        po[l * cols + c] = static_cast<float>(acc);
-      }
+    });
   }
 
   Value xc = x, wc = w, bc = bias;
@@ -489,18 +607,25 @@ Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
         const float* pw = wv.raw();
         float* pgx = need_x ? xc->grad().raw() : nullptr;
         float* pgw = need_w ? wc->grad().raw() : nullptr;
-        for (std::int64_t l = 0; l < rows; ++l)
-          for (std::int64_t c = 0; c < cols; ++c) {
-            const float go = pg[l * cols + c];
-            if (go == 0.0f) continue;
-            if (need_b) bc->grad()[c] += go;
-            for (std::int64_t k = 0; k < kernel; ++k) {
-              const auto ll = l - pad + k;
-              if (ll < 0 || ll >= rows) continue;
-              if (need_x) pgx[ll * cols + c] += go * pw[c * kernel + k];
-              if (need_w) pgw[c * kernel + k] += go * px[ll * cols + c];
-            }
-          }
+        float* pgb = need_b ? bc->grad().raw() : nullptr;
+        // Every access — x, gx, w, gw, bias — is column-disjoint, so the
+        // split goes over columns. Per column, rows run in ascending order,
+        // matching the serial accumulation exactly.
+        parallel::parallel_for(
+            0, cols, 8, [&](std::int64_t cb, std::int64_t ce) {
+              for (std::int64_t l = 0; l < rows; ++l)
+                for (std::int64_t c = cb; c < ce; ++c) {
+                  const float go = pg[l * cols + c];
+                  if (go == 0.0f) continue;
+                  if (need_b) pgb[c] += go;
+                  for (std::int64_t k = 0; k < kernel; ++k) {
+                    const auto ll = l - pad + k;
+                    if (ll < 0 || ll >= rows) continue;
+                    if (need_x) pgx[ll * cols + c] += go * pw[c * kernel + k];
+                    if (need_w) pgw[c * kernel + k] += go * px[ll * cols + c];
+                  }
+                }
+            });
       });
 }
 
@@ -515,17 +640,19 @@ Value upsample_nearest_per_depth(const Value& x, std::int64_t factor) {
     const float* px = xv.raw();
     float* po = out.raw();
     const auto hout = hin * factor, wout = win * factor;
-    for (std::int64_t c = 0; c < channels; ++c)
-      for (std::int64_t d = 0; d < depth; ++d) {
-        const float* src = px + (c * depth + d) * hin * win;
-        float* dst = po + (c * depth + d) * hout * wout;
-        for (std::int64_t h = 0; h < hout; ++h) {
-          const float* srow = src + (h / factor) * win;
-          float* drow = dst + h * wout;
-          for (std::int64_t w = 0; w < wout; ++w)
-            drow[w] = srow[w / factor];
-        }
-      }
+    parallel::parallel_for(
+        0, channels * depth, 4, [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const float* src = px + p * hin * win;
+            float* dst = po + p * hout * wout;
+            for (std::int64_t h = 0; h < hout; ++h) {
+              const float* srow = src + (h / factor) * win;
+              float* drow = dst + h * wout;
+              for (std::int64_t w = 0; w < wout; ++w)
+                drow[w] = srow[w / factor];
+            }
+          }
+        });
   }
   Value xc = x;
   return detail::make_result(std::move(out), {x}, [xc, factor](Node& self) {
@@ -537,17 +664,20 @@ Value upsample_nearest_per_depth(const Value& x, std::int64_t factor) {
     const auto hout = hin * factor, wout = win * factor;
     const float* pg = g.raw();
     float* pgx = gx.raw();
-    for (std::int64_t c = 0; c < channels; ++c)
-      for (std::int64_t d = 0; d < depth; ++d) {
-        const float* grow_base = pg + (c * depth + d) * hout * wout;
-        float* dst = pgx + (c * depth + d) * hin * win;
-        for (std::int64_t h = 0; h < hout; ++h) {
-          const float* grow = grow_base + h * wout;
-          float* drow = dst + (h / factor) * win;
-          for (std::int64_t w = 0; w < wout; ++w)
-            drow[w / factor] += grow[w];
-        }
-      }
+    // (c, d) planes are disjoint in both g and gx.
+    parallel::parallel_for(
+        0, channels * depth, 4, [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const float* grow_base = pg + p * hout * wout;
+            float* dst = pgx + p * hin * win;
+            for (std::int64_t h = 0; h < hout; ++h) {
+              const float* grow = grow_base + h * wout;
+              float* drow = dst + (h / factor) * win;
+              for (std::int64_t w = 0; w < wout; ++w)
+                drow[w / factor] += grow[w];
+            }
+          }
+        });
   });
 }
 

@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -15,7 +16,11 @@ Value unary_op(const Value& x, float (*fwd)(float),
                float (*dfdx)(float /*in*/, float /*out*/)) {
   const Tensor& in = x->value();
   Tensor out = in;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(in[i]);
+  parallel::parallel_for(0, out.numel(), parallel::kFlatGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i)
+                             out[i] = fwd(in[i]);
+                         });
   Value xc = x;
   return detail::make_result(
       std::move(out), {x}, [xc, dfdx](Node& self) {
@@ -24,8 +29,11 @@ Value unary_op(const Value& x, float (*fwd)(float),
         const Tensor& g = self.grad();
         const Tensor& in = xc->value();
         const Tensor& saved_out = self.value();
-        for (std::int64_t i = 0; i < g.numel(); ++i)
-          gx[i] += g[i] * dfdx(in[i], saved_out[i]);
+        parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
+                               [&](std::int64_t i0, std::int64_t i1) {
+                                 for (std::int64_t i = i0; i < i1; ++i)
+                                   gx[i] += g[i] * dfdx(in[i], saved_out[i]);
+                               });
       });
 }
 
@@ -67,12 +75,20 @@ Value mul(const Value& a, const Value& b) {
     if (ac->requires_grad()) {
       Tensor& ga = ac->grad();
       const Tensor& bv = bc->value();
-      for (std::int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * bv[i];
+      parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
+                             [&](std::int64_t i0, std::int64_t i1) {
+                               for (std::int64_t i = i0; i < i1; ++i)
+                                 ga[i] += g[i] * bv[i];
+                             });
     }
     if (bc->requires_grad()) {
       Tensor& gb = bc->grad();
       const Tensor& av = ac->value();
-      for (std::int64_t i = 0; i < g.numel(); ++i) gb[i] += g[i] * av[i];
+      parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
+                             [&](std::int64_t i0, std::int64_t i1) {
+                               for (std::int64_t i = i0; i < i1; ++i)
+                                 gb[i] += g[i] * av[i];
+                             });
     }
   });
 }
@@ -94,7 +110,11 @@ Value mul_scalar(const Value& a, float s) {
     if (!ac->requires_grad()) return;
     Tensor& ga = ac->grad();
     const Tensor& g = self.grad();
-    for (std::int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * s;
+    parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
+                           [&](std::int64_t i0, std::int64_t i1) {
+                             for (std::int64_t i = i0; i < i1; ++i)
+                               ga[i] += g[i] * s;
+                           });
   });
 }
 
@@ -116,8 +136,12 @@ Value leaky_relu(const Value& x, float negative_slope) {
         Tensor& gx = xc->grad();
         const Tensor& g = self.grad();
         const Tensor& in = xc->value();
-        for (std::int64_t i = 0; i < g.numel(); ++i)
-          gx[i] += g[i] * (in[i] > 0.0f ? 1.0f : negative_slope);
+        parallel::parallel_for(
+            0, g.numel(), parallel::kFlatGrain,
+            [&](std::int64_t i0, std::int64_t i1) {
+              for (std::int64_t i = i0; i < i1; ++i)
+                gx[i] += g[i] * (in[i] > 0.0f ? 1.0f : negative_slope);
+            });
       });
 }
 
@@ -193,12 +217,16 @@ Value abs_pow(const Value& x, float p) {
     Tensor& gx = xc->grad();
     const Tensor& g = self.grad();
     const Tensor& in = xc->value();
-    for (std::int64_t i = 0; i < g.numel(); ++i) {
-      const float v = in[i];
-      if (v == 0.0f) continue;  // subgradient 0 at the kink
-      const float sign = v > 0.0f ? 1.0f : -1.0f;
-      gx[i] += g[i] * p * std::pow(std::abs(v), p - 1.0f) * sign;
-    }
+    parallel::parallel_for(
+        0, g.numel(), parallel::kFlatGrain,
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float v = in[i];
+            if (v == 0.0f) continue;  // subgradient 0 at the kink
+            const float sign = v > 0.0f ? 1.0f : -1.0f;
+            gx[i] += g[i] * p * std::pow(std::abs(v), p - 1.0f) * sign;
+          }
+        });
   });
 }
 

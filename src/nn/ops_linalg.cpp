@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -26,20 +28,28 @@ Tensor matmul_raw(const Tensor& a, const Tensor& b, bool trans_a,
   float* po = out.raw();
   const auto lda = a.dim(1);
   const auto ldb = b.dim(1);
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-      if (av == 0.0f) continue;
-      if (!trans_b) {
-        const float* brow = pb + kk * ldb;
-        float* orow = po + i * n;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      } else {
-        float* orow = po + i * n;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * pb[j * ldb + kk];
+  // Output rows are independent; each row's accumulation order is fixed, so
+  // any chunking gives identical results (pure map over rows). The grain
+  // targets a few tens of kflops per chunk.
+  const auto grain = std::max<std::int64_t>(
+      1, 32768 / std::max<std::int64_t>(1, k * n));
+  parallel::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+        if (av == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = pb + kk * ldb;
+          float* orow = po + i * n;
+          for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        } else {
+          float* orow = po + i * n;
+          for (std::int64_t j = 0; j < n; ++j)
+            orow[j] += av * pb[j * ldb + kk];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -115,19 +125,22 @@ Value softmax_rows(const Value& x, float tau) {
   const auto rows = x->value().dim(0);
   const auto cols = x->value().dim(1);
   Tensor out(x->value().shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float row_max = x->value().at(r, 0);
-    for (std::int64_t c = 1; c < cols; ++c)
-      row_max = std::max(row_max, x->value().at(r, c));
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp((x->value().at(r, c) - row_max) / tau);
-      out.at(r, c) = e;
-      denom += e;
+  const Tensor& in = x->value();
+  parallel::parallel_for(0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float row_max = in.at(r, 0);
+      for (std::int64_t c = 1; c < cols; ++c)
+        row_max = std::max(row_max, in.at(r, c));
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float e = std::exp((in.at(r, c) - row_max) / tau);
+        out.at(r, c) = e;
+        denom += e;
+      }
+      const auto inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
     }
-    const auto inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
-  }
+  });
   Value xc = x;
   return detail::make_result(std::move(out), {x}, [xc, tau](Node& self) {
     if (!xc->requires_grad()) return;
@@ -136,14 +149,16 @@ Value softmax_rows(const Value& x, float tau) {
     Tensor& gx = xc->grad();
     const auto rows = p.dim(0);
     const auto cols = p.dim(1);
-    for (std::int64_t r = 0; r < rows; ++r) {
-      double dot = 0.0;
-      for (std::int64_t c = 0; c < cols; ++c)
-        dot += static_cast<double>(g.at(r, c)) * p.at(r, c);
-      for (std::int64_t c = 0; c < cols; ++c)
-        gx.at(r, c) += p.at(r, c) *
-                       (g.at(r, c) - static_cast<float>(dot)) / tau;
-    }
+    parallel::parallel_for(0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        double dot = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c)
+          dot += static_cast<double>(g.at(r, c)) * p.at(r, c);
+        for (std::int64_t c = 0; c < cols; ++c)
+          gx.at(r, c) += p.at(r, c) *
+                         (g.at(r, c) - static_cast<float>(dot)) / tau;
+      }
+    });
   });
 }
 
@@ -195,25 +210,33 @@ Value layer_norm(const Value& x, const Value& gamma, const Value& beta,
   Tensor out(x->value().shape());
   Tensor x_hat(x->value().shape());
   std::vector<float> inv_sigma(static_cast<std::size_t>(rows));
-  for (std::int64_t r = 0; r < rows; ++r) {
-    double mean = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) mean += x->value().at(r, c);
-    mean /= static_cast<double>(cols);
-    double var = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const double d = x->value().at(r, c) - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    const auto inv =
-        static_cast<float>(1.0 / std::sqrt(var + static_cast<double>(eps)));
-    inv_sigma[static_cast<std::size_t>(r)] = inv;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float xh =
-          (x->value().at(r, c) - static_cast<float>(mean)) * inv;
-      x_hat.at(r, c) = xh;
-      out.at(r, c) = xh * gamma->value()[c] + beta->value()[c];
-    }
+  {
+    const Tensor& in = x->value();
+    const Tensor& gv = gamma->value();
+    const Tensor& bv = beta->value();
+    parallel::parallel_for(
+        0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            double mean = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c) mean += in.at(r, c);
+            mean /= static_cast<double>(cols);
+            double var = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              const double d = in.at(r, c) - mean;
+              var += d * d;
+            }
+            var /= static_cast<double>(cols);
+            const auto inv = static_cast<float>(
+                1.0 / std::sqrt(var + static_cast<double>(eps)));
+            inv_sigma[static_cast<std::size_t>(r)] = inv;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              const float xh =
+                  (in.at(r, c) - static_cast<float>(mean)) * inv;
+              x_hat.at(r, c) = xh;
+              out.at(r, c) = xh * gv[c] + bv[c];
+            }
+          }
+        });
   }
 
   Value xc = x, gc = gamma, bc = beta;
@@ -235,25 +258,28 @@ Value layer_norm(const Value& x, const Value& gamma, const Value& beta,
         }
         if (!xc->requires_grad()) return;
         Tensor& gx = xc->grad();
-        for (std::int64_t r = 0; r < rows; ++r) {
-          double mean_gy = 0.0;
-          double mean_gy_xhat = 0.0;
-          for (std::int64_t c = 0; c < cols; ++c) {
-            const double gy = static_cast<double>(g.at(r, c)) *
-                              gc->value()[c];
-            mean_gy += gy;
-            mean_gy_xhat += gy * x_hat.at(r, c);
-          }
-          mean_gy /= static_cast<double>(cols);
-          mean_gy_xhat /= static_cast<double>(cols);
-          const float inv = inv_sigma[static_cast<std::size_t>(r)];
-          for (std::int64_t c = 0; c < cols; ++c) {
-            const double gy = static_cast<double>(g.at(r, c)) *
-                              gc->value()[c];
-            gx.at(r, c) += static_cast<float>(
-                inv * (gy - mean_gy - x_hat.at(r, c) * mean_gy_xhat));
-          }
-        }
+        parallel::parallel_for(
+            0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
+              for (std::int64_t r = r0; r < r1; ++r) {
+                double mean_gy = 0.0;
+                double mean_gy_xhat = 0.0;
+                for (std::int64_t c = 0; c < cols; ++c) {
+                  const double gy = static_cast<double>(g.at(r, c)) *
+                                    gc->value()[c];
+                  mean_gy += gy;
+                  mean_gy_xhat += gy * x_hat.at(r, c);
+                }
+                mean_gy /= static_cast<double>(cols);
+                mean_gy_xhat /= static_cast<double>(cols);
+                const float inv = inv_sigma[static_cast<std::size_t>(r)];
+                for (std::int64_t c = 0; c < cols; ++c) {
+                  const double gy = static_cast<double>(g.at(r, c)) *
+                                    gc->value()[c];
+                  gx.at(r, c) += static_cast<float>(
+                      inv * (gy - mean_gy - x_hat.at(r, c) * mean_gy_xhat));
+                }
+              }
+            });
       });
 }
 

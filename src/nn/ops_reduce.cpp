@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -14,7 +15,11 @@ Value sum(const Value& x) {
     if (!xc->requires_grad()) return;
     const float g = self.grad()[0];
     Tensor& gx = xc->grad();
-    for (std::int64_t i = 0; i < gx.numel(); ++i) gx[i] += g;
+    parallel::parallel_for(0, gx.numel(), parallel::kFlatGrain,
+                           [&](std::int64_t i0, std::int64_t i1) {
+                             for (std::int64_t i = i0; i < i1; ++i)
+                               gx[i] += g;
+                           });
   });
 }
 
@@ -28,16 +33,30 @@ Value mean(const Value& x) {
     if (!xc->requires_grad()) return;
     const float g = self.grad()[0] / static_cast<float>(n);
     Tensor& gx = xc->grad();
-    for (std::int64_t i = 0; i < gx.numel(); ++i) gx[i] += g;
+    parallel::parallel_for(0, gx.numel(), parallel::kFlatGrain,
+                           [&](std::int64_t i0, std::int64_t i1) {
+                             for (std::int64_t i = i0; i < i1; ++i)
+                               gx[i] += g;
+                           });
   });
 }
 
 Value max_all(const Value& x) {
   const Tensor& in = x->value();
   SDMPEB_CHECK(in.numel() > 0);
-  std::int64_t argmax = 0;
-  for (std::int64_t i = 1; i < in.numel(); ++i)
-    if (in[i] > in[argmax]) argmax = i;
+  // Per-chunk (argmax) partials combined in chunk order reproduce the serial
+  // first-strict-maximum tie-breaking exactly.
+  const auto argmax = parallel::reduce<std::int64_t>(
+      0, in.numel(), parallel::kReduceGrain, 0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        std::int64_t best = i0;
+        for (std::int64_t i = i0 + 1; i < i1; ++i)
+          if (in[i] > in[best]) best = i;
+        return best;
+      },
+      [&](std::int64_t acc, std::int64_t cand) {
+        return in[cand] > in[acc] ? cand : acc;
+      });
   Tensor out(Shape{1});
   out[0] = in[argmax];
   Value xc = x;

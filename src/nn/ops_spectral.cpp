@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "fft/fft.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
@@ -59,32 +60,39 @@ Value spectral_conv3d(const Value& x, const Value& w_real,
   };
 
   // Forward FFT of every input channel, saved for the backward pass.
-  auto x_hat = std::make_shared<std::vector<std::vector<Complex>>>();
-  x_hat->reserve(static_cast<std::size_t>(cin));
-  for (std::int64_t ci = 0; ci < cin; ++ci)
-    x_hat->push_back(
-        fft3_of_real(xv.raw() + ci * voxels, depth, height, width));
+  // Channels transform independently.
+  auto x_hat = std::make_shared<std::vector<std::vector<Complex>>>(
+      static_cast<std::size_t>(cin));
+  parallel::parallel_for(0, cin, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ci = c0; ci < c1; ++ci)
+      (*x_hat)[static_cast<std::size_t>(ci)] =
+          fft3_of_real(xv.raw() + ci * voxels, depth, height, width);
+  });
 
   Tensor out(Shape{cout, depth, height, width});
-  std::vector<Complex> y_hat(static_cast<std::size_t>(voxels));
-  for (std::int64_t co = 0; co < cout; ++co) {
-    std::fill(y_hat.begin(), y_hat.end(), Complex(0.0, 0.0));
-    for (std::int64_t ci = 0; ci < cin; ++ci) {
-      const auto& xs = (*x_hat)[static_cast<std::size_t>(ci)];
-      for (std::int64_t a = 0; a < modes_d; ++a)
-        for (std::int64_t bb = 0; bb < modes_h; ++bb)
-          for (std::int64_t g = 0; g < modes_w; ++g) {
-            const auto wm = mode_index(co, ci, a, bb, g);
-            const Complex weight(wr[wm], wi[wm]);
-            y_hat[spatial_index(a, bb, g)] +=
-                weight * xs[spatial_index(a, bb, g)];
-          }
+  // Output channels are independent; each task owns a scratch spectrum.
+  parallel::parallel_for(0, cout, 1, [&](std::int64_t o0, std::int64_t o1) {
+    std::vector<Complex> y_hat(static_cast<std::size_t>(voxels));
+    for (std::int64_t co = o0; co < o1; ++co) {
+      std::fill(y_hat.begin(), y_hat.end(), Complex(0.0, 0.0));
+      for (std::int64_t ci = 0; ci < cin; ++ci) {
+        const auto& xs = (*x_hat)[static_cast<std::size_t>(ci)];
+        for (std::int64_t a = 0; a < modes_d; ++a)
+          for (std::int64_t bb = 0; bb < modes_h; ++bb)
+            for (std::int64_t g = 0; g < modes_w; ++g) {
+              const auto wm = mode_index(co, ci, a, bb, g);
+              const Complex weight(wr[wm], wi[wm]);
+              y_hat[spatial_index(a, bb, g)] +=
+                  weight * xs[spatial_index(a, bb, g)];
+            }
+      }
+      fft::fft3(y_hat, depth, height, width, /*inverse=*/true);
+      float* dst = out.raw() + co * voxels;
+      for (std::int64_t i = 0; i < voxels; ++i)
+        dst[i] =
+            static_cast<float>(y_hat[static_cast<std::size_t>(i)].real());
     }
-    fft::fft3(y_hat, depth, height, width, /*inverse=*/true);
-    float* dst = out.raw() + co * voxels;
-    for (std::int64_t i = 0; i < voxels; ++i)
-      dst[i] = static_cast<float>(y_hat[static_cast<std::size_t>(i)].real());
-  }
+  });
 
   Value xc = x, wrc = w_real, wic = w_imag;
   return detail::make_result(
@@ -117,53 +125,65 @@ Value spectral_conv3d(const Value& x, const Value& w_real,
 
         // dL/dY_hat[k] = (1/N) * FFT_fwd(g)[k] (derivation: the inverse FFT
         // followed by Re() has this as its real-adjoint).
-        std::vector<std::vector<Complex>> g_hat;
-        g_hat.reserve(static_cast<std::size_t>(cout));
-        for (std::int64_t co = 0; co < cout; ++co) {
-          auto gh = fft3_of_real(g.raw() + co * voxels, depth, height, width);
-          for (auto& v : gh) v *= inv_n;
-          g_hat.push_back(std::move(gh));
-        }
+        std::vector<std::vector<Complex>> g_hat(
+            static_cast<std::size_t>(cout));
+        parallel::parallel_for(
+            0, cout, 1, [&](std::int64_t o0, std::int64_t o1) {
+              for (std::int64_t co = o0; co < o1; ++co) {
+                auto gh =
+                    fft3_of_real(g.raw() + co * voxels, depth, height, width);
+                for (auto& v : gh) v *= inv_n;
+                g_hat[static_cast<std::size_t>(co)] = std::move(gh);
+              }
+            });
 
-        std::vector<Complex> dx_hat(static_cast<std::size_t>(voxels));
-        for (std::int64_t ci = 0; ci < cin; ++ci) {
-          if (need_x)
-            std::fill(dx_hat.begin(), dx_hat.end(), Complex(0.0, 0.0));
-          const auto& xs = (*x_hat)[static_cast<std::size_t>(ci)];
-          for (std::int64_t co = 0; co < cout; ++co) {
-            const auto& gh = g_hat[static_cast<std::size_t>(co)];
-            for (std::int64_t a = 0; a < modes_d; ++a)
-              for (std::int64_t bb = 0; bb < modes_h; ++bb)
-                for (std::int64_t gg = 0; gg < modes_w; ++gg) {
-                  const auto si = spatial_index(a, bb, gg);
-                  const auto wm = mode_index(co, ci, a, bb, gg);
-                  const Complex ghat = gh[si];
-                  if (need_w) {
-                    // dW = conj(X) * dY_hat.
-                    const Complex dw = std::conj(xs[si]) * ghat;
-                    if (wrc->requires_grad())
-                      wrc->grad()[wm] += static_cast<float>(dw.real());
-                    if (wic->requires_grad())
-                      wic->grad()[wm] += static_cast<float>(dw.imag());
-                  }
-                  if (need_x) {
-                    const Complex weight(wr[wm], wi[wm]);
-                    dx_hat[si] += std::conj(weight) * ghat;
-                  }
+        // Input channels are independent: the weight-gradient index wm and
+        // the x-gradient slice are both ci-disjoint. Hoist the grad tensors
+        // outside the loop so lazy allocation happens once, serially.
+        float* pgwr = wrc->requires_grad() ? wrc->grad().raw() : nullptr;
+        float* pgwi = wic->requires_grad() ? wic->grad().raw() : nullptr;
+        float* pgx = need_x ? xc->grad().raw() : nullptr;
+        parallel::parallel_for(
+            0, cin, 1, [&](std::int64_t i0, std::int64_t i1) {
+              std::vector<Complex> dx_hat(static_cast<std::size_t>(voxels));
+              for (std::int64_t ci = i0; ci < i1; ++ci) {
+                if (need_x)
+                  std::fill(dx_hat.begin(), dx_hat.end(), Complex(0.0, 0.0));
+                const auto& xs = (*x_hat)[static_cast<std::size_t>(ci)];
+                for (std::int64_t co = 0; co < cout; ++co) {
+                  const auto& gh = g_hat[static_cast<std::size_t>(co)];
+                  for (std::int64_t a = 0; a < modes_d; ++a)
+                    for (std::int64_t bb = 0; bb < modes_h; ++bb)
+                      for (std::int64_t gg = 0; gg < modes_w; ++gg) {
+                        const auto si = spatial_index(a, bb, gg);
+                        const auto wm = mode_index(co, ci, a, bb, gg);
+                        const Complex ghat = gh[si];
+                        if (need_w) {
+                          // dW = conj(X) * dY_hat.
+                          const Complex dw = std::conj(xs[si]) * ghat;
+                          if (pgwr)
+                            pgwr[wm] += static_cast<float>(dw.real());
+                          if (pgwi)
+                            pgwi[wm] += static_cast<float>(dw.imag());
+                        }
+                        if (need_x) {
+                          const Complex weight(wr[wm], wi[wm]);
+                          dx_hat[si] += std::conj(weight) * ghat;
+                        }
+                      }
                 }
-          }
-          if (need_x) {
-            // dx = N * Re(IFFT(dX_hat)) — fft3 inverse normalises by 1/N,
-            // so scale back by N.
-            fft::fft3(dx_hat, depth, height, width, /*inverse=*/true);
-            Tensor& gx = xc->grad();
-            float* dst = gx.raw() + ci * voxels;
-            for (std::int64_t i = 0; i < voxels; ++i)
-              dst[i] += static_cast<float>(
-                  dx_hat[static_cast<std::size_t>(i)].real() *
-                  static_cast<double>(voxels));
-          }
-        }
+                if (need_x) {
+                  // dx = N * Re(IFFT(dX_hat)) — fft3 inverse normalises by
+                  // 1/N, so scale back by N.
+                  fft::fft3(dx_hat, depth, height, width, /*inverse=*/true);
+                  float* dst = pgx + ci * voxels;
+                  for (std::int64_t i = 0; i < voxels; ++i)
+                    dst[i] += static_cast<float>(
+                        dx_hat[static_cast<std::size_t>(i)].real() *
+                        static_cast<double>(voxels));
+                }
+              }
+            });
       });
 }
 

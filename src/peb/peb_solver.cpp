@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/parallel.hpp"
+
 namespace sdmpeb::peb {
 
 PebSolver::PebSolver(PebParams params) : params_(params) {
@@ -29,34 +31,41 @@ void PebSolver::reaction_half_step(PebState& state, double dt) const {
   auto base = state.base.data();
   auto inhibitor = state.inhibitor.data();
 
-  for (std::size_t i = 0; i < acid.size(); ++i) {
-    const double a0 = acid[i];
-    const double b0 = base[i];
+  // Pointwise chemistry: every voxel is independent.
+  parallel::parallel_for(
+      0, static_cast<std::int64_t>(acid.size()), 16384,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t idx = i0; idx < i1; ++idx) {
+          const auto i = static_cast<std::size_t>(idx);
+          const double a0 = acid[i];
+          const double b0 = base[i];
 
-    // Catalytic deprotection, Eq. (1): for frozen [A] over the sub-step the
-    // exact solution is I(t) = I0 * exp(-kc * A * t). Using the average of
-    // the pre/post-neutralisation acid would be second-order; the Strang
-    // wrapper already gives second-order overall, so the frozen value is
-    // evaluated first with a0.
-    inhibitor[i] *= std::exp(-kc * a0 * dt);
+          // Catalytic deprotection, Eq. (1): for frozen [A] over the
+          // sub-step the exact solution is I(t) = I0 * exp(-kc * A * t).
+          // Using the average of the pre/post-neutralisation acid would be
+          // second-order; the Strang wrapper already gives second-order
+          // overall, so the frozen value is evaluated first with a0.
+          inhibitor[i] *= std::exp(-kc * a0 * dt);
 
-    // Acid–base neutralisation: dA/dt = dB/dt = -kr * A * B, so u = A - B is
-    // invariant and A(t) = u * A0 / (A0 - B0 * exp(-kr * u * t)); the
-    // symmetric limit u -> 0 gives A(t) = A0 / (1 + kr * A0 * t).
-    const double u = a0 - b0;
-    double a1;
-    if (std::abs(u) < 1e-12) {
-      a1 = a0 / (1.0 + kr * a0 * dt);
-    } else {
-      const double decay = std::exp(-kr * u * dt);
-      a1 = u * a0 / (a0 - b0 * decay);
-    }
-    // Guard against rounding pushing concentrations slightly negative.
-    a1 = std::max(a1, 0.0);
-    double b1 = std::max(a1 - u, 0.0);
-    acid[i] = a1;
-    base[i] = b1;
-  }
+          // Acid–base neutralisation: dA/dt = dB/dt = -kr * A * B, so
+          // u = A - B is invariant and
+          // A(t) = u * A0 / (A0 - B0 * exp(-kr * u * t)); the symmetric
+          // limit u -> 0 gives A(t) = A0 / (1 + kr * A0 * t).
+          const double u = a0 - b0;
+          double a1;
+          if (std::abs(u) < 1e-12) {
+            a1 = a0 / (1.0 + kr * a0 * dt);
+          } else {
+            const double decay = std::exp(-kr * u * dt);
+            a1 = u * a0 / (a0 - b0 * decay);
+          }
+          // Guard against rounding pushing concentrations slightly negative.
+          a1 = std::max(a1, 0.0);
+          double b1 = std::max(a1 - u, 0.0);
+          acid[i] = a1;
+          base[i] = b1;
+        }
+      });
 }
 
 void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
@@ -82,7 +91,9 @@ void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
   const double s = robin_h * dt / spacing_nm;  // Robin surface term
 
   const auto n = static_cast<std::size_t>(count);
-  std::vector<double> sub(n), diag(n), sup(n), rhs(n), solution(n);
+  // The matrix bands are identical for every line along this axis: build
+  // them once and share read-only across the parallel line solves.
+  std::vector<double> sub(n), diag(n), sup(n);
 
   // Matrix of (I - dt D Lap) with zero-flux ends; the Robin condition adds
   // an extra sink/source h (u - sat) on the z = 0 cell (axis 0 only).
@@ -95,37 +106,46 @@ void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
   diag[n - 1] = 1.0 + r;
   if (axis == 0 && robin_h > 0.0) diag[0] += s;
 
-  auto data = field.data();
-  const auto line_solve = [&](std::int64_t base_index, std::int64_t stride) {
-    for (std::size_t i = 0; i < n; ++i)
-      rhs[i] = data[static_cast<std::size_t>(
-          base_index + static_cast<std::int64_t>(i) * stride)];
-    if (axis == 0 && robin_h > 0.0) rhs[0] += s * saturation;
-    tridiag_.solve(sub, diag, sup, rhs, solution);
-    for (std::size_t i = 0; i < n; ++i)
-      data[static_cast<std::size_t>(
-          base_index + static_cast<std::int64_t>(i) * stride)] =
-          std::max(solution[i], 0.0);
-  };
-
+  // Flat line index -> (base cell, stride) for each sweep direction.
+  std::int64_t lines = 0;
   switch (axis) {
-    case 0:
-      for (std::int64_t h = 0; h < height; ++h)
-        for (std::int64_t w = 0; w < width; ++w)
-          line_solve(h * width + w, height * width);
-      break;
-    case 1:
-      for (std::int64_t d = 0; d < depth; ++d)
-        for (std::int64_t w = 0; w < width; ++w)
-          line_solve(d * height * width + w, width);
-      break;
-    case 2:
-      for (std::int64_t d = 0; d < depth; ++d)
-        for (std::int64_t h = 0; h < height; ++h)
-          line_solve((d * height + h) * width, 1);
-      break;
+    case 0: lines = height * width; break;
+    case 1: lines = depth * width; break;
+    case 2: lines = depth * height; break;
     default: break;
   }
+  const auto line_base = [&](std::int64_t line) -> std::int64_t {
+    switch (axis) {
+      case 0: return line;  // (h, w) plane cell, stride height*width
+      case 1: return (line / width) * height * width + line % width;
+      case 2: return line * width;
+      default: return 0;
+    }
+  };
+  const std::int64_t stride =
+      axis == 0 ? height * width : (axis == 1 ? width : 1);
+
+  auto data = field.data();
+  // Every tridiagonal line is independent and writes only its own cells.
+  // Scratch (rhs/solution/workspace) is chunk-local, so concurrent solves
+  // share no mutable state.
+  parallel::parallel_for(
+      0, lines, 32, [&](std::int64_t l0, std::int64_t l1) {
+        TridiagWorkspace workspace;
+        std::vector<double> rhs(n), solution(n);
+        for (std::int64_t line = l0; line < l1; ++line) {
+          const auto base_index = line_base(line);
+          for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = data[static_cast<std::size_t>(
+                base_index + static_cast<std::int64_t>(i) * stride)];
+          if (axis == 0 && robin_h > 0.0) rhs[0] += s * saturation;
+          TridiagSolver::solve(sub, diag, sup, rhs, solution, workspace);
+          for (std::size_t i = 0; i < n; ++i)
+            data[static_cast<std::size_t>(
+                base_index + static_cast<std::int64_t>(i) * stride)] =
+                std::max(solution[i], 0.0);
+        }
+      });
 }
 
 void PebSolver::diffuse_explicit(Grid3& field, double diff_z, double diff_xy,
@@ -149,28 +169,34 @@ void PebSolver::diffuse_explicit(Grid3& field, double diff_z, double diff_xy,
 
   Grid3 next(depth, height, width);
   for (std::int64_t step = 0; step < substeps; ++step) {
-    for (std::int64_t d = 0; d < depth; ++d) {
-      for (std::int64_t h = 0; h < height; ++h) {
-        for (std::int64_t w = 0; w < width; ++w) {
-          const double center = field.at(d, h, w);
-          // Zero-flux boundaries: reflect the centre value at walls.
-          const double up = d > 0 ? field.at(d - 1, h, w) : center;
-          const double down = d + 1 < depth ? field.at(d + 1, h, w) : center;
-          const double north = h > 0 ? field.at(d, h - 1, w) : center;
-          const double south =
-              h + 1 < height ? field.at(d, h + 1, w) : center;
-          const double west = w > 0 ? field.at(d, h, w - 1) : center;
-          const double east = w + 1 < width ? field.at(d, h, w + 1) : center;
-          double lap = diff_z * (up + down - 2.0 * center) / dz2 +
-                       diff_xy * (north + south - 2.0 * center) / dy2 +
-                       diff_xy * (west + east - 2.0 * center) / dx2;
-          // Robin surface sink on the top layer.
-          if (d == 0 && robin_h > 0.0)
-            lap -= robin_h / params_.dz_nm * (center - saturation);
-          next.at(d, h, w) = std::max(center + dt_sub * lap, 0.0);
+    // Jacobi update: reads `field`, writes `next` — depth slabs are
+    // independent (halo reads are into the read-only source grid).
+    parallel::parallel_for(0, depth, 1, [&](std::int64_t d0, std::int64_t d1) {
+      for (std::int64_t d = d0; d < d1; ++d) {
+        for (std::int64_t h = 0; h < height; ++h) {
+          for (std::int64_t w = 0; w < width; ++w) {
+            const double center = field.at(d, h, w);
+            // Zero-flux boundaries: reflect the centre value at walls.
+            const double up = d > 0 ? field.at(d - 1, h, w) : center;
+            const double down =
+                d + 1 < depth ? field.at(d + 1, h, w) : center;
+            const double north = h > 0 ? field.at(d, h - 1, w) : center;
+            const double south =
+                h + 1 < height ? field.at(d, h + 1, w) : center;
+            const double west = w > 0 ? field.at(d, h, w - 1) : center;
+            const double east =
+                w + 1 < width ? field.at(d, h, w + 1) : center;
+            double lap = diff_z * (up + down - 2.0 * center) / dz2 +
+                         diff_xy * (north + south - 2.0 * center) / dy2 +
+                         diff_xy * (west + east - 2.0 * center) / dx2;
+            // Robin surface sink on the top layer.
+            if (d == 0 && robin_h > 0.0)
+              lap -= robin_h / params_.dz_nm * (center - saturation);
+            next.at(d, h, w) = std::max(center + dt_sub * lap, 0.0);
+          }
         }
       }
-    }
+    });
     std::swap(field, next);
   }
 }

@@ -62,7 +62,6 @@ class PebSolver {
   void diffusion_step(PebState& state, double dt) const;
 
   PebParams params_;
-  mutable TridiagSolver tridiag_;
 };
 
 }  // namespace sdmpeb::peb

@@ -10,27 +10,30 @@ void TridiagSolver::solve(std::span<const double> sub,
                           std::span<const double> diag,
                           std::span<const double> sup,
                           std::span<const double> rhs,
-                          std::span<double> solution) {
+                          std::span<double> solution,
+                          TridiagWorkspace& workspace) {
   const std::size_t n = diag.size();
   SDMPEB_CHECK(n >= 1);
   SDMPEB_CHECK(sub.size() == n && sup.size() == n && rhs.size() == n &&
                solution.size() == n);
 
-  scratch_c_.resize(n);
-  scratch_d_.resize(n);
+  auto& c = workspace.c;
+  auto& d = workspace.d;
+  c.resize(n);
+  d.resize(n);
 
   SDMPEB_CHECK_MSG(std::abs(diag[0]) > 0.0, "singular tridiagonal system");
-  scratch_c_[0] = sup[0] / diag[0];
-  scratch_d_[0] = rhs[0] / diag[0];
+  c[0] = sup[0] / diag[0];
+  d[0] = rhs[0] / diag[0];
   for (std::size_t i = 1; i < n; ++i) {
-    const double denom = diag[i] - sub[i] * scratch_c_[i - 1];
+    const double denom = diag[i] - sub[i] * c[i - 1];
     SDMPEB_CHECK_MSG(std::abs(denom) > 1e-300, "singular tridiagonal system");
-    scratch_c_[i] = sup[i] / denom;
-    scratch_d_[i] = (rhs[i] - sub[i] * scratch_d_[i - 1]) / denom;
+    c[i] = sup[i] / denom;
+    d[i] = (rhs[i] - sub[i] * d[i - 1]) / denom;
   }
-  solution[n - 1] = scratch_d_[n - 1];
+  solution[n - 1] = d[n - 1];
   for (std::size_t i = n - 1; i-- > 0;)
-    solution[i] = scratch_d_[i] - scratch_c_[i] * solution[i + 1];
+    solution[i] = d[i] - c[i] * solution[i + 1];
 }
 
 }  // namespace sdmpeb::peb

@@ -5,6 +5,15 @@
 
 namespace sdmpeb::peb {
 
+/// Caller-owned scratch for TridiagSolver::solve. Concurrent line solves
+/// (the parallel ADI sweeps) each hold their own workspace, so nothing
+/// mutable is shared between threads; buffers are sized on first use and
+/// reused across solves.
+struct TridiagWorkspace {
+  std::vector<double> c;
+  std::vector<double> d;
+};
+
 /// Thomas-algorithm solver for tridiagonal systems, the kernel of the
 /// locally-one-dimensional implicit diffusion steps. Solves
 ///   sub[i] * x[i-1] + diag[i] * x[i] + sup[i] * x[i+1] = rhs[i]
@@ -12,14 +21,23 @@ namespace sdmpeb::peb {
 /// (always true for backward-Euler diffusion matrices).
 class TridiagSolver {
  public:
-  /// Workspace is sized on first use and reused across solves.
+  /// Stateless solve into caller-owned scratch — safe to run concurrently
+  /// as long as each caller passes a distinct workspace.
+  static void solve(std::span<const double> sub, std::span<const double> diag,
+                    std::span<const double> sup, std::span<const double> rhs,
+                    std::span<double> solution, TridiagWorkspace& workspace);
+
+  /// Convenience overload backed by this instance's workspace. NOT safe to
+  /// share one solver across threads; prefer the static overload in
+  /// parallel code.
   void solve(std::span<const double> sub, std::span<const double> diag,
              std::span<const double> sup, std::span<const double> rhs,
-             std::span<double> solution);
+             std::span<double> solution) {
+    solve(sub, diag, sup, rhs, solution, workspace_);
+  }
 
  private:
-  std::vector<double> scratch_c_;
-  std::vector<double> scratch_d_;
+  TridiagWorkspace workspace_;
 };
 
 }  // namespace sdmpeb::peb

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.hpp"
+
 namespace sdmpeb {
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
@@ -39,21 +41,40 @@ Tensor Tensor::map(const std::function<float(float)>& fn) const {
 
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+namespace {
+
+/// Flat-chunked elementwise combine; per-element writes are disjoint, so the
+/// result never depends on chunking or thread count.
+template <typename Fn>
+void elementwise(std::vector<float>& dst, const std::vector<float>& src,
+                 const Fn& fn) {
+  parallel::parallel_for(0, static_cast<std::int64_t>(dst.size()),
+                         parallel::kFlatGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                             const auto u = static_cast<std::size_t>(i);
+                             fn(dst[u], src[u]);
+                           }
+                         });
+}
+
+}  // namespace
+
 Tensor& Tensor::operator+=(const Tensor& other) {
   SDMPEB_CHECK(shape_ == other.shape_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  elementwise(data_, other.data_, [](float& a, float b) { a += b; });
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   SDMPEB_CHECK(shape_ == other.shape_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  elementwise(data_, other.data_, [](float& a, float b) { a -= b; });
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& other) {
   SDMPEB_CHECK(shape_ == other.shape_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  elementwise(data_, other.data_, [](float& a, float b) { a *= b; });
   return *this;
 }
 
@@ -68,8 +89,17 @@ Tensor& Tensor::operator+=(float scalar) {
 }
 
 float Tensor::sum() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
+  // Deterministic chunked reduction: fixed grain, partials combined in chunk
+  // order, so the value is identical for any thread count.
+  const auto acc = parallel::reduce<double>(
+      0, static_cast<std::int64_t>(data_.size()), parallel::kReduceGrain, 0.0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        double part = 0.0;
+        for (std::int64_t i = i0; i < i1; ++i)
+          part += data_[static_cast<std::size_t>(i)];
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(acc);
 }
 
