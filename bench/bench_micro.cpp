@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "common/gemm.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/attention.hpp"
@@ -345,6 +346,125 @@ void run_thread_scaling_sweep() {
   std::printf("[bench] wrote %s\n", path.c_str());
 }
 
+// --- GEMM / conv roofline ----------------------------------------------------
+// Single-thread GF/s for the packed cache-blocked GEMM against the naive
+// reference across square and conv-lowered shapes, plus the dense conv ops
+// under both backends (im2col+GEMM vs the retired direct kernels). Written
+// to bench_out/gemm_scaling.csv; the headline acceptance number is the
+// packed/naive ratio at 256^3.
+
+double time_ms_of(const std::function<void()>& fn, int repeats) {
+  fn();  // warm-up (also sizes the workspace arenas)
+  Timer timer;
+  for (int rep = 0; rep < repeats; ++rep) fn();
+  return timer.milliseconds() / repeats;
+}
+
+void run_gemm_roofline() {
+  parallel::set_thread_count(1);
+  CsvWriter csv({"case", "m", "n", "k", "flops", "naive_ms", "packed_ms",
+                 "naive_gflops", "packed_gflops", "speedup"});
+  std::printf("[bench] GEMM/conv roofline (single thread)\n");
+
+  const auto report = [&csv](const std::string& name, std::int64_t m,
+                             std::int64_t n, std::int64_t k, double flops,
+                             double naive_ms, double packed_ms) {
+    const double naive_gf = flops / (naive_ms * 1e6);
+    const double packed_gf = flops / (packed_ms * 1e6);
+    csv.add_row({name, std::to_string(m), std::to_string(n),
+                 std::to_string(k), std::to_string(flops),
+                 std::to_string(naive_ms), std::to_string(packed_ms),
+                 std::to_string(naive_gf), std::to_string(packed_gf),
+                 std::to_string(naive_ms / packed_ms)});
+    std::printf(
+        "[bench] %-24s naive %7.2f ms (%5.2f GF/s)  packed %7.2f ms "
+        "(%5.2f GF/s)  %.2fx\n",
+        name.c_str(), naive_ms, naive_gf, packed_ms, packed_gf,
+        naive_ms / packed_ms);
+  };
+
+  struct GemmShape {
+    const char* name;
+    std::int64_t m, n, k;
+    int repeats;
+  };
+  // Squares walk the cache hierarchy; the skinny shape is a lowered
+  // 3x3 conv layer (cout x hw x cin*kh*kw).
+  const GemmShape shapes[] = {{"gemm_64", 64, 64, 64, 50},
+                              {"gemm_128", 128, 128, 128, 20},
+                              {"gemm_256", 256, 256, 256, 5},
+                              {"gemm_384", 384, 384, 384, 3},
+                              {"gemm_conv_lowered", 8, 1024, 72, 20}};
+  for (const auto& s : shapes) {
+    Rng rng(23);
+    std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+    for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const double flops = 2.0 * s.m * s.n * s.k;
+    const double naive_ms = time_ms_of(
+        [&] {
+          gemm::gemm_naive(s.m, s.n, s.k, a.data(), s.k, false, b.data(),
+                           s.n, false, c.data(), s.n, 0.0f);
+          benchmark::DoNotOptimize(c.data());
+        },
+        s.repeats);
+    const double packed_ms = time_ms_of(
+        [&] {
+          gemm::gemm_packed(s.m, s.n, s.k, a.data(), s.k, false, b.data(),
+                            s.n, false, c.data(), s.n, 0.0f);
+          benchmark::DoNotOptimize(c.data());
+        },
+        s.repeats);
+    report(s.name, s.m, s.n, s.k, flops, naive_ms, packed_ms);
+  }
+
+  // Dense conv ops end to end: backend() routes the forward to im2col+GEMM
+  // (packed) or to the retired direct kernels (naive).
+  const auto conv_case = [&](const std::string& name, double flops,
+                             int repeats, const std::function<void()>& fwd) {
+    gemm::set_backend(gemm::Backend::kNaive);
+    const double naive_ms = time_ms_of(fwd, repeats);
+    gemm::set_backend(gemm::Backend::kPacked);
+    const double packed_ms = time_ms_of(fwd, repeats);
+    report(name, 0, 0, 0, flops, naive_ms, packed_ms);
+  };
+  {
+    auto x = random_value(Shape{8, 16, 32, 32}, 13);
+    auto w = random_value(Shape{8, 8, 3, 3}, 14);
+    auto b = random_value(Shape{8}, 15);
+    conv_case("conv2d_8x16x32x32", 2.0 * 8 * 16 * 32 * 32 * 8 * 9, 10, [&] {
+      auto y = nnops::conv2d_per_depth(x, w, b, 1, 1);
+      benchmark::DoNotOptimize(y->value().raw());
+    });
+  }
+  {
+    auto x = random_value(Shape{8, 16, 16, 16}, 16);
+    auto w = random_value(Shape{8, 8, 3, 3, 3}, 17);
+    auto b = random_value(Shape{8}, 18);
+    conv_case("conv3d_8x16x16x16", 2.0 * 8 * 16 * 16 * 16 * 8 * 27, 10, [&] {
+      auto y = nnops::conv3d(x, w, b, 1, 1);
+      benchmark::DoNotOptimize(y->value().raw());
+    });
+  }
+  {
+    auto x = random_value(Shape{8, 16, 16, 16}, 24);
+    auto w = random_value(Shape{8, 8, 2, 2}, 25);
+    auto b = random_value(Shape{8}, 26);
+    conv_case("convt2d_8x16x16x16",
+              2.0 * 8 * 16 * 16 * 16 * 8 * 4, 10, [&] {
+                auto y = nnops::conv_transpose2d_per_depth(x, w, b, 2, 0);
+                benchmark::DoNotOptimize(y->value().raw());
+              });
+  }
+
+  sdmpeb::bench::ensure_output_dir();
+  const std::string path = "bench_out/gemm_scaling.csv";
+  csv.save(path);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,5 +473,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_thread_scaling_sweep();
+  run_gemm_roofline();
   return 0;
 }

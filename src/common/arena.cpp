@@ -1,0 +1,65 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace sdmpeb {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBlockBytes = std::size_t{1} << 18;  // 256 KiB
+
+std::atomic<std::uint64_t> g_heap_blocks{0};
+
+std::size_t round_up(std::size_t bytes) {
+  return (bytes + kAlign - 1) & ~(kAlign - 1);
+}
+
+}  // namespace
+
+WorkspaceArena::~WorkspaceArena() {
+  for (auto& block : blocks_)
+    ::operator delete[](block.data, std::align_val_t{kAlign});
+}
+
+void* WorkspaceArena::bump(std::size_t bytes) {
+  bytes = round_up(std::max<std::size_t>(bytes, kAlign));
+  // Walk the chain from the current block; skipped blocks stay unused until
+  // the enclosing Scope rewinds (an identical next pass walks identically,
+  // so the skip costs no allocations in steady state).
+  while (current_ < blocks_.size() &&
+         blocks_[current_].size - used_ < bytes) {
+    ++current_;
+    used_ = 0;
+  }
+  if (current_ == blocks_.size()) {
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+    const std::size_t size = std::max({bytes, 2 * prev, kMinBlockBytes});
+    auto* data = static_cast<std::byte*>(
+        ::operator new[](size, std::align_val_t{kAlign}));
+    blocks_.push_back(Block{data, size});
+    used_ = 0;
+    g_heap_blocks.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::byte* ptr = blocks_[current_].data + used_;
+  used_ += bytes;
+  return ptr;
+}
+
+std::size_t WorkspaceArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) total += block.size;
+  return total;
+}
+
+WorkspaceArena& WorkspaceArena::tls() {
+  static thread_local WorkspaceArena arena;
+  return arena;
+}
+
+std::uint64_t WorkspaceArena::total_heap_blocks() {
+  return g_heap_blocks.load(std::memory_order_relaxed);
+}
+
+}  // namespace sdmpeb

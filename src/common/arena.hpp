@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdmpeb {
+
+/// Reusable aligned scratch arena for kernel workspaces (im2col patch
+/// matrices, GEMM packing panels, tridiagonal line scratch). Allocation is a
+/// bump over a chain of 64-byte-aligned blocks that are never freed until
+/// the arena dies, so after a warm-up pass that sizes the chain, a steady
+/// state of identical kernel calls performs zero heap allocations.
+///
+/// Lifetime rules:
+///   - Pointers stay valid until the enclosing Scope is destroyed (or the
+///     arena itself). Open a Scope, allocate, use, let the Scope rewind.
+///   - Scopes nest: an op may hold an open Scope while a kernel it calls
+///     opens its own on the same arena.
+///   - An arena is single-threaded. Parallel kernels take per-thread arenas
+///     via tls(); a caller may hand workers disjoint slices of one caller
+///     allocation (that is a plain shared buffer, not arena traffic).
+class WorkspaceArena {
+ public:
+  /// RAII watermark: restores the bump position on destruction, releasing
+  /// every allocation made since construction without freeing memory.
+  class Scope {
+   public:
+    explicit Scope(WorkspaceArena& arena)
+        : arena_(arena), block_(arena.current_), used_(arena.used_) {}
+    ~Scope() { arena_.rewind(block_, used_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    WorkspaceArena& arena_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  WorkspaceArena() = default;
+  ~WorkspaceArena();
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+
+  /// n floats / doubles, 64-byte aligned, uninitialised.
+  float* floats(std::int64_t n) {
+    return static_cast<float*>(bump(static_cast<std::size_t>(n) *
+                                    sizeof(float)));
+  }
+  double* doubles(std::int64_t n) {
+    return static_cast<double*>(bump(static_cast<std::size_t>(n) *
+                                     sizeof(double)));
+  }
+
+  /// Total bytes of backing blocks this arena owns.
+  std::size_t capacity_bytes() const;
+
+  /// Calling thread's arena (one per thread, lazily built, lives as long as
+  /// the thread — pool workers keep theirs warm across kernel calls).
+  static WorkspaceArena& tls();
+
+  /// Process-wide count of backing-block heap allocations across all
+  /// arenas. Constant across repeated identical workloads once warm; the
+  /// arena-reuse test pins this.
+  static std::uint64_t total_heap_blocks();
+
+ private:
+  struct Block {
+    std::byte* data;
+    std::size_t size;
+  };
+
+  void* bump(std::size_t bytes);
+  void rewind(std::size_t block, std::size_t used) {
+    current_ = block;
+    used_ = used;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< index of the block being bumped
+  std::size_t used_ = 0;     ///< bytes consumed in blocks_[current_]
+};
+
+}  // namespace sdmpeb

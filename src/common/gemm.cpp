@@ -1,0 +1,245 @@
+// Packed cache-blocked GEMM core. This translation unit is compiled with
+// -ffp-contract=off (see src/common/CMakeLists.txt): every product is
+// rounded before it is added, in both implementations, which is what makes
+// the packed kernel bitwise-reproducible against the naive reference.
+
+#include "common/gemm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SDMPEB_GEMM_RESTRICT __restrict__
+#else
+#define SDMPEB_GEMM_RESTRICT
+#endif
+
+namespace sdmpeb::gemm {
+
+namespace {
+
+Backend& backend_slot() {
+  static Backend backend = [] {
+    const char* env = std::getenv("SDMPEB_GEMM_NAIVE");
+    const bool naive = env && *env != '\0' && std::strcmp(env, "0") != 0;
+    return naive ? Backend::kNaive : Backend::kPacked;
+  }();
+  return backend;
+}
+
+/// beta pre-pass for the degenerate k == 0 case (no products to add).
+void scale_c(std::int64_t m, std::int64_t n, float* c, std::int64_t ldc,
+             float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f)
+      std::fill(crow, crow + n, 0.0f);
+    else if (beta != 1.0f)
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+  }
+}
+
+/// Pack rows [i0, i0 + mb) x k [p0, p0 + kb) of op(A) into kMr-row panels:
+/// panel ir starts at ap + ir * kb and stores kMr consecutive row values
+/// per k step (rows beyond mb are zero-padded; the padded output rows are
+/// discarded at store time, so the padding never reaches C).
+void pack_a(const float* a, std::int64_t lda, bool trans_a, std::int64_t i0,
+            std::int64_t mb, std::int64_t p0, std::int64_t kb, float* ap) {
+  for (std::int64_t ir = 0; ir < mb; ir += kMr) {
+    const auto rows = std::min(kMr, mb - ir);
+    float* dst = ap + ir * kb;
+    if (trans_a) {
+      // op(A) rows are contiguous in the stored k-major layout.
+      for (std::int64_t kk = 0; kk < kb; ++kk) {
+        const float* src = a + (p0 + kk) * lda + i0 + ir;
+        for (std::int64_t r = 0; r < kMr; ++r)
+          dst[kk * kMr + r] = r < rows ? src[r] : 0.0f;
+      }
+    } else {
+      for (std::int64_t r = 0; r < kMr; ++r) {
+        if (r < rows) {
+          const float* src = a + (i0 + ir + r) * lda + p0;
+          for (std::int64_t kk = 0; kk < kb; ++kk)
+            dst[kk * kMr + r] = src[kk];
+        } else {
+          for (std::int64_t kk = 0; kk < kb; ++kk) dst[kk * kMr + r] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+/// Pack k [p0, p0 + kb) x cols [j0, j0 + nb) of op(B) into kNr-column
+/// panels: panel jr starts at bp + jr * kb, kNr consecutive column values
+/// per k step, zero-padded past nb.
+void pack_b(const float* b, std::int64_t ldb, bool trans_b, std::int64_t p0,
+            std::int64_t kb, std::int64_t j0, std::int64_t nb, float* bp) {
+  for (std::int64_t jr = 0; jr < nb; jr += kNr) {
+    const auto cols = std::min(kNr, nb - jr);
+    float* dst = bp + jr * kb;
+    if (trans_b) {
+      for (std::int64_t kk = 0; kk < kb; ++kk)
+        for (std::int64_t col = 0; col < kNr; ++col)
+          dst[kk * kNr + col] =
+              col < cols ? b[(j0 + jr + col) * ldb + p0 + kk] : 0.0f;
+    } else {
+      for (std::int64_t kk = 0; kk < kb; ++kk) {
+        const float* src = b + (p0 + kk) * ldb + j0 + jr;
+        for (std::int64_t col = 0; col < kNr; ++col)
+          dst[kk * kNr + col] = col < cols ? src[col] : 0.0f;
+      }
+    }
+  }
+}
+
+/// kMr x kNr register-tile inner loop: acc += Ap_panel @ Bp_panel over kb
+/// steps, k strictly ascending, one accumulator per element. The loop shape
+/// (constant trip counts, unit strides, no branches) is what the
+/// autovectorizer wants; with -march=native it emits vector FMA per row.
+inline void micro_kernel(std::int64_t kb, const float* SDMPEB_GEMM_RESTRICT ap,
+                         const float* SDMPEB_GEMM_RESTRICT bp,
+                         float* SDMPEB_GEMM_RESTRICT acc) {
+  for (std::int64_t kk = 0; kk < kb; ++kk) {
+    const float* arow = ap + kk * kMr;
+    const float* brow = bp + kk * kNr;
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const float av = arow[i];
+      float* crow = acc + i * kNr;
+      for (std::int64_t j = 0; j < kNr; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// One C tile: seed the accumulators from C (beta-scaled on the first k
+/// panel, raw after — so each element's chain is beta*c, +t0, +t1, ... with
+/// a rounding per step, exactly the naive order), run the microkernel,
+/// store the valid rows x cols region back.
+void compute_tile(std::int64_t kb, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, std::int64_t rows, std::int64_t cols,
+                  float beta, bool first_panel) {
+  alignas(64) float acc[kMr * kNr];
+  const bool full = rows == kMr && cols == kNr;
+  if (first_panel && beta == 0.0f) {
+    for (std::int64_t i = 0; i < kMr * kNr; ++i) acc[i] = 0.0f;
+  } else {
+    const float scale = first_panel ? beta : 1.0f;
+    for (std::int64_t i = 0; i < kMr; ++i)
+      for (std::int64_t j = 0; j < kNr; ++j)
+        acc[i * kNr + j] = (i < rows && j < cols)
+                               ? c[i * ldc + j] * scale
+                               : 0.0f;
+  }
+  micro_kernel(kb, ap, bp, acc);
+  if (full) {
+    for (std::int64_t i = 0; i < kMr; ++i)
+      for (std::int64_t j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i * kNr + j];
+  } else {
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j) c[i * ldc + j] = acc[i * kNr + j];
+  }
+}
+
+}  // namespace
+
+Backend backend() { return backend_slot(); }
+
+void set_backend(Backend b) { backend_slot() = b; }
+
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float* a, std::int64_t lda, bool trans_a,
+                const float* b, std::int64_t ldb, bool trans_b, float* c,
+                std::int64_t ldc, float beta) {
+  SDMPEB_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  // Row chunks at the packed kernel's block granularity: a task is never
+  // smaller than one kMc row block (the old elements-based heuristic
+  // collapsed to per-row tasks for any realistically sized layer).
+  parallel::parallel_for(0, m, kMc, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f)
+        std::fill(crow, crow + n, 0.0f);
+      else if (beta != 1.0f)
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        // No zero-skip here: a data-dependent branch mispredicts on sparse
+        // activations and would turn 0 * NaN into a silent drop instead of
+        // propagating the NaN.
+        const float av = trans_a ? a[kk * lda + i] : a[i * lda + kk];
+        if (trans_b) {
+          for (std::int64_t j = 0; j < n; ++j)
+            crow[j] += av * b[j * ldb + kk];
+        } else {
+          const float* brow = b + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, bool trans_a,
+                 const float* b, std::int64_t ldb, bool trans_b, float* c,
+                 std::int64_t ldc, float beta) {
+  SDMPEB_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    scale_c(m, n, c, ldc, beta);
+    return;
+  }
+
+  auto& caller_arena = WorkspaceArena::tls();
+  WorkspaceArena::Scope scope(caller_arena);
+  const auto nc_padded =
+      std::min<std::int64_t>(kNc, (n + kNr - 1) / kNr * kNr);
+  float* bp = caller_arena.floats(std::min(kKc, k) * nc_padded);
+  const auto mc_blocks = (m + kMc - 1) / kMc;
+
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const auto nb = std::min(kNc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const auto kb = std::min(kKc, k - pc);
+      const bool first_panel = pc == 0;
+      // The B panel is packed once per (jc, pc) and shared read-only by all
+      // row-block tasks; the parallel_for boundary publishes it.
+      pack_b(b, ldb, trans_b, pc, kb, jc, nb, bp);
+      // Split over kMc row blocks only — each C element belongs to exactly
+      // one task, so the per-element accumulation order is thread-count
+      // independent.
+      parallel::parallel_for(
+          0, mc_blocks, 1, [&](std::int64_t blk0, std::int64_t blk1) {
+            auto& arena = WorkspaceArena::tls();
+            WorkspaceArena::Scope worker_scope(arena);
+            float* ap = arena.floats(kMc * kb);
+            for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+              const auto i0 = blk * kMc;
+              const auto mb = std::min(kMc, m - i0);
+              pack_a(a, lda, trans_a, i0, mb, pc, kb, ap);
+              for (std::int64_t jr = 0; jr < nb; jr += kNr)
+                for (std::int64_t ir = 0; ir < mb; ir += kMr)
+                  compute_tile(kb, ap + ir * kb, bp + jr * kb,
+                               c + (i0 + ir) * ldc + jc + jr, ldc,
+                               std::min(kMr, mb - ir), std::min(kNr, nb - jr),
+                               beta, first_panel);
+            }
+          });
+    }
+  }
+}
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+          bool trans_b, float* c, std::int64_t ldc, float beta) {
+  if (backend() == Backend::kNaive)
+    gemm_naive(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, beta);
+  else
+    gemm_packed(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, beta);
+}
+
+}  // namespace sdmpeb::gemm

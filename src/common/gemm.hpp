@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sdmpeb::gemm {
+
+/// Single-precision dense matrix multiply — the one dense engine behind
+/// matmul and the im2col-lowered convolutions.
+///
+/// Two implementations, selectable at runtime:
+///   - kPacked (default): cache-blocked, register-tiled, panel-packed GEMM
+///     (Mc/Kc/Nc blocking, kMr x kNr microkernel written for the
+///     autovectorizer).
+///   - kNaive: the straightforward three-loop reference the packed kernel
+///     is validated against (the pre-GEMM matmul_raw loops, minus the
+///     data-dependent zero-skip branch).
+///
+/// Exactness contract: for a given (shape, transposes, beta), both
+/// implementations accumulate every output element along k in ascending
+/// order through a single float accumulator chain, and this translation
+/// unit is compiled with -ffp-contract=off — so packed and naive results
+/// are BITWISE IDENTICAL, for any thread count. Ops lowered onto GEMM
+/// (im2col convolutions) inherit bit-identity between the two backends;
+/// only results compared against the retired direct conv kernels (which
+/// accumulated in double) carry a tolerance. See DESIGN.md §8.
+enum class Backend {
+  kPacked,
+  kNaive,
+};
+
+/// Active backend. Resolved once, lazily, from SDMPEB_GEMM_NAIVE (any value
+/// other than empty/"0" selects kNaive); set_backend overrides in-process
+/// (tests and the roofline bench flip it).
+Backend backend();
+void set_backend(Backend b);
+
+// Blocking parameters (shared with the grain heuristics of callers: one
+// parallel task covers one kMc row block, never less).
+inline constexpr std::int64_t kMc = 48;   ///< rows of C per packed A block
+inline constexpr std::int64_t kKc = 256;  ///< k extent of one packed panel
+inline constexpr std::int64_t kNc = 256;  ///< cols of C per packed B panel
+inline constexpr std::int64_t kMr = 6;    ///< microkernel rows
+inline constexpr std::int64_t kNr = 8;    ///< microkernel cols
+
+/// C (m x n, leading dimension ldc) = op(a) @ op(b) + beta * C, row-major.
+/// op(a) is m x k: a is stored (m x k, lda) or, when trans_a, (k x m, lda);
+/// op(b) is k x n likewise. beta == 0 overwrites C (never reads it).
+/// Deterministic: parallel work is split over row blocks only, so each
+/// output element is owned by one task and its accumulation order is fixed
+/// for any SDMPEB_THREADS.
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+          bool trans_b, float* c, std::int64_t ldc, float beta = 0.0f);
+
+/// Force one implementation regardless of backend() (tests, roofline).
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, bool trans_a,
+                 const float* b, std::int64_t ldb, bool trans_b, float* c,
+                 std::int64_t ldc, float beta = 0.0f);
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float* a, std::int64_t lda, bool trans_a,
+                const float* b, std::int64_t ldb, bool trans_b, float* c,
+                std::int64_t ldc, float beta = 0.0f);
+
+}  // namespace sdmpeb::gemm

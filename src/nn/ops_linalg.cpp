@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/gemm.hpp"
 #include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
@@ -12,7 +13,9 @@ namespace {
 
 /// Raw (non-autograd) matrix product with optional transposed operand
 /// layouts: computes op(a) @ op(b) where op transposes the stored matrix
-/// when the flag is set.
+/// when the flag is set. All four variants run on the shared packed GEMM
+/// core (common/gemm.hpp); SDMPEB_GEMM_NAIVE=1 swaps in the bit-identical
+/// naive reference.
 Tensor matmul_raw(const Tensor& a, const Tensor& b, bool trans_a,
                   bool trans_b) {
   SDMPEB_CHECK(a.rank() == 2 && b.rank() == 2);
@@ -23,33 +26,8 @@ Tensor matmul_raw(const Tensor& a, const Tensor& b, bool trans_a,
   SDMPEB_CHECK_MSG(k == kb, "matmul inner dims " << k << " vs " << kb);
 
   Tensor out(Shape{m, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* po = out.raw();
-  const auto lda = a.dim(1);
-  const auto ldb = b.dim(1);
-  // Output rows are independent; each row's accumulation order is fixed, so
-  // any chunking gives identical results (pure map over rows). The grain
-  // targets a few tens of kflops per chunk.
-  const auto grain = std::max<std::int64_t>(
-      1, 32768 / std::max<std::int64_t>(1, k * n));
-  parallel::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-        if (av == 0.0f) continue;
-        if (!trans_b) {
-          const float* brow = pb + kk * ldb;
-          float* orow = po + i * n;
-          for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-        } else {
-          float* orow = po + i * n;
-          for (std::int64_t j = 0; j < n; ++j)
-            orow[j] += av * pb[j * ldb + kk];
-        }
-      }
-    }
-  });
+  gemm::gemm(m, n, k, a.raw(), a.dim(1), trans_a, b.raw(), b.dim(1), trans_b,
+             out.raw(), n, /*beta=*/0.0f);
   return out;
 }
 

@@ -1,8 +1,10 @@
 #include "peb/peb_solver.hpp"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/parallel.hpp"
 
 namespace sdmpeb::peb {
@@ -127,19 +129,26 @@ void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
 
   auto data = field.data();
   // Every tridiagonal line is independent and writes only its own cells.
-  // Scratch (rhs/solution/workspace) is chunk-local, so concurrent solves
-  // share no mutable state.
+  // Scratch (rhs/solution/elimination coefficients) is chunk-local and
+  // served by the worker's WorkspaceArena, so concurrent solves share no
+  // mutable state and steady-state sweeps never touch the allocator.
   parallel::parallel_for(
       0, lines, 32, [&](std::int64_t l0, std::int64_t l1) {
-        TridiagWorkspace workspace;
-        std::vector<double> rhs(n), solution(n);
+        auto& arena = WorkspaceArena::tls();
+        WorkspaceArena::Scope scope(arena);
+        const auto count64 = static_cast<std::int64_t>(n);
+        std::span<double> rhs(arena.doubles(count64), n);
+        std::span<double> solution(arena.doubles(count64), n);
+        std::span<double> c_scratch(arena.doubles(count64), n);
+        std::span<double> d_scratch(arena.doubles(count64), n);
         for (std::int64_t line = l0; line < l1; ++line) {
           const auto base_index = line_base(line);
           for (std::size_t i = 0; i < n; ++i)
             rhs[i] = data[static_cast<std::size_t>(
                 base_index + static_cast<std::int64_t>(i) * stride)];
           if (axis == 0 && robin_h > 0.0) rhs[0] += s * saturation;
-          TridiagSolver::solve(sub, diag, sup, rhs, solution, workspace);
+          TridiagSolver::solve(sub, diag, sup, rhs, solution, c_scratch,
+                               d_scratch);
           for (std::size_t i = 0; i < n; ++i)
             data[static_cast<std::size_t>(
                 base_index + static_cast<std::int64_t>(i) * stride)] =

@@ -13,14 +13,26 @@ void TridiagSolver::solve(std::span<const double> sub,
                           std::span<double> solution,
                           TridiagWorkspace& workspace) {
   const std::size_t n = diag.size();
+  workspace.c.resize(n);
+  workspace.d.resize(n);
+  solve(sub, diag, sup, rhs, solution, workspace.c, workspace.d);
+}
+
+void TridiagSolver::solve(std::span<const double> sub,
+                          std::span<const double> diag,
+                          std::span<const double> sup,
+                          std::span<const double> rhs,
+                          std::span<double> solution,
+                          std::span<double> c_scratch,
+                          std::span<double> d_scratch) {
+  const std::size_t n = diag.size();
   SDMPEB_CHECK(n >= 1);
   SDMPEB_CHECK(sub.size() == n && sup.size() == n && rhs.size() == n &&
                solution.size() == n);
+  SDMPEB_CHECK(c_scratch.size() >= n && d_scratch.size() >= n);
 
-  auto& c = workspace.c;
-  auto& d = workspace.d;
-  c.resize(n);
-  d.resize(n);
+  auto c = c_scratch;
+  auto d = d_scratch;
 
   SDMPEB_CHECK_MSG(std::abs(diag[0]) > 0.0, "singular tridiagonal system");
   c[0] = sup[0] / diag[0];

@@ -27,6 +27,15 @@ class TridiagSolver {
                     std::span<const double> sup, std::span<const double> rhs,
                     std::span<double> solution, TridiagWorkspace& workspace);
 
+  /// Span-scratch variant for callers that manage their own buffers (the
+  /// ADI sweeps hand out WorkspaceArena slices so steady-state solves never
+  /// allocate). c_scratch and d_scratch must each hold diag.size() doubles
+  /// and be distinct from every other span.
+  static void solve(std::span<const double> sub, std::span<const double> diag,
+                    std::span<const double> sup, std::span<const double> rhs,
+                    std::span<double> solution, std::span<double> c_scratch,
+                    std::span<double> d_scratch);
+
   /// Convenience overload backed by this instance's workspace. NOT safe to
   /// share one solver across threads; prefer the static overload in
   /// parallel code.
