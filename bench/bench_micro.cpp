@@ -8,13 +8,17 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "common/gemm.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace_export.hpp"
 #include "core/attention.hpp"
 #include "core/sdm_unit.hpp"
 #include "develop/eikonal.hpp"
@@ -474,5 +478,18 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   run_thread_scaling_sweep();
   run_gemm_roofline();
+  // SDMPEB_TRACE=1: dump the Chrome trace + metrics from the whole run so
+  // CI can archive them next to the scaling CSVs.
+  if (obs::trace_enabled()) {
+    obs::refresh_derived_metrics();
+    sdmpeb::bench::ensure_output_dir();
+    if (obs::write_chrome_trace_file("bench_out/trace.json"))
+      std::printf("[bench] wrote bench_out/trace.json\n");
+    if (obs::write_metrics_csv_file("bench_out/metrics.csv"))
+      std::printf("[bench] wrote bench_out/metrics.csv\n");
+    std::ostringstream json;
+    obs::write_metrics_json(json);
+    std::printf("%s\n", json.str().c_str());
+  }
   return 0;
 }

@@ -6,9 +6,11 @@
 //   front -> resist profile -> per-contact CD measurement.
 //
 // Dumps PGM visualisations of the key volumes (top-down and vertical cuts)
-// into the current directory, mirroring the paper's Figs. 4 and 8.
+// into flow_out/ (git-ignored), mirroring the paper's Figs. 4 and 8.
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "common/timer.hpp"
 #include "develop/eikonal.hpp"
@@ -25,6 +27,9 @@ using namespace sdmpeb;
 
 int main() {
   const auto config = eval::DatasetConfig::small();
+  const std::string out_dir = "flow_out";
+  std::filesystem::create_directories(out_dir);
+  const auto out = [&out_dir](const char* name) { return out_dir + "/" + name; };
 
   // --- mask ----------------------------------------------------------------
   Rng rng(2025);
@@ -33,7 +38,7 @@ int main() {
               static_cast<long long>(clip.pixels.dim(0)),
               static_cast<long long>(clip.pixels.dim(1)), clip.pixel_nm,
               clip.contacts.size());
-  io::save_pgm(clip.pixels, "flow_mask.pgm", 0.0f, 1.0f);
+  io::save_pgm(clip.pixels, out("flow_mask.pgm"), 0.0f, 1.0f);
 
   // --- optics + exposure -----------------------------------------------------
   Timer timer;
@@ -41,9 +46,9 @@ int main() {
   const auto acid0 = litho::exposure_to_photoacid(aerial, config.dill);
   std::printf("aerial + Dill exposure: %.2f s, acid in [%.3f, %.3f]\n",
               timer.seconds(), acid0.min(), acid0.max());
-  io::save_pgm(io::depth_slice(acid0, 0), "flow_acid_top.pgm", 0.0f, 0.9f);
+  io::save_pgm(io::depth_slice(acid0, 0), out("flow_acid_top.pgm"), 0.0f, 0.9f);
   io::save_pgm(io::vertical_slice(acid0, clip.contacts.front().center_h),
-               "flow_acid_vertical.pgm", 0.0f, 0.9f);
+               out("flow_acid_vertical.pgm"), 0.0f, 0.9f);
 
   // --- rigorous PEB -----------------------------------------------------------
   const peb::PebSolver solver(config.peb);
@@ -54,13 +59,13 @@ int main() {
   std::printf("  inhibitor in [%.4f, %.4f], mean %.4f\n",
               baked.inhibitor.min(), baked.inhibitor.max(),
               baked.inhibitor.mean());
-  io::save_pgm(io::depth_slice(baked.inhibitor, 0), "flow_inhibitor_top.pgm",
+  io::save_pgm(io::depth_slice(baked.inhibitor, 0), out("flow_inhibitor_top.pgm"),
                0.0f, 1.0f);
   io::save_pgm(io::depth_slice(baked.inhibitor, baked.inhibitor.depth() - 1),
-               "flow_inhibitor_bottom.pgm", 0.0f, 1.0f);
+               out("flow_inhibitor_bottom.pgm"), 0.0f, 1.0f);
   io::save_pgm(
       io::vertical_slice(baked.inhibitor, clip.contacts.front().center_h),
-      "flow_inhibitor_vertical.pgm", 0.0f, 1.0f);
+      out("flow_inhibitor_vertical.pgm"), 0.0f, 1.0f);
 
   // --- development -------------------------------------------------------------
   const auto rate = develop::development_rate(baked.inhibitor, config.mack);
@@ -73,7 +78,7 @@ int main() {
   const auto profile =
       develop::resist_profile(front, config.mack.develop_time_s);
   io::save_pgm(io::depth_slice(profile, profile.depth() - 1),
-               "flow_profile_bottom.pgm", 0.0f, 1.0f);
+               out("flow_profile_bottom.pgm"), 0.0f, 1.0f);
 
   // --- CD measurement ------------------------------------------------------------
   const auto cds = develop::measure_clip_cds(
@@ -90,6 +95,6 @@ int main() {
                 cds[i].cd_x_nm, cds[i].cd_y_nm,
                 cds[i].resolved ? "" : "   (not printed)");
   }
-  std::printf("\nPGM dumps written: flow_*.pgm\n");
+  std::printf("\nPGM dumps written: %s/flow_*.pgm\n", out_dir.c_str());
   return 0;
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON emitted by the obs layer.
+
+Usage: check_trace.py TRACE.json [--require-span NAME ...]
+
+Checks that the file parses as JSON, follows the trace_event format
+(traceEvents list of "X" complete events with name/ts/dur/pid/tid, "M"
+metadata events for thread names), that timestamps are sane, and that every
+--require-span name appears at least once. Exits non-zero on any failure so
+CI can gate on it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--require-span", action="append", default=[],
+                        help="span name that must appear at least once")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="minimum number of complete events")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse {args.trace}: {exc}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    for e in spans:
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"complete event missing '{key}': {e}")
+        if e["dur"] < 0 or e["ts"] < 0:
+            fail(f"negative timestamp/duration: {e}")
+    for e in metadata:
+        if e.get("name") == "thread_name" and "name" not in e.get("args", {}):
+            fail(f"thread_name metadata without args.name: {e}")
+
+    if len(spans) < args.min_spans:
+        fail(f"expected >= {args.min_spans} spans, found {len(spans)}")
+
+    names = {e["name"] for e in spans}
+    missing = [n for n in args.require_span if n not in names]
+    if missing:
+        fail(f"required span(s) absent: {missing}; present: {sorted(names)}")
+
+    threads = {e["tid"] for e in spans}
+    print(f"check_trace: OK: {len(spans)} spans, {len(names)} distinct names, "
+          f"{len(threads)} thread(s), {len(metadata)} metadata events")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <new>
 
+#include "common/obs.hpp"
+
 namespace sdmpeb {
 
 namespace {
@@ -11,6 +13,15 @@ constexpr std::size_t kAlign = 64;
 constexpr std::size_t kMinBlockBytes = std::size_t{1} << 18;  // 256 KiB
 
 std::atomic<std::uint64_t> g_heap_blocks{0};
+std::atomic<std::uint64_t> g_heap_bytes{0};
+std::atomic<std::uint64_t> g_heap_bytes_peak{0};
+
+void note_heap_bytes(std::uint64_t total) {
+  std::uint64_t peak = g_heap_bytes_peak.load(std::memory_order_relaxed);
+  while (total > peak && !g_heap_bytes_peak.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
+}
 
 std::size_t round_up(std::size_t bytes) {
   return (bytes + kAlign - 1) & ~(kAlign - 1);
@@ -19,12 +30,18 @@ std::size_t round_up(std::size_t bytes) {
 }  // namespace
 
 WorkspaceArena::~WorkspaceArena() {
-  for (auto& block : blocks_)
+  for (auto& block : blocks_) {
+    g_heap_bytes.fetch_sub(block.size, std::memory_order_relaxed);
     ::operator delete[](block.data, std::align_val_t{kAlign});
+  }
 }
 
 void* WorkspaceArena::bump(std::size_t bytes) {
   bytes = round_up(std::max<std::size_t>(bytes, kAlign));
+  if (obs::trace_enabled()) {
+    static obs::Counter& bumps = obs::counter("arena.bump_calls");
+    bumps.add(1);
+  }
   // Walk the chain from the current block; skipped blocks stay unused until
   // the enclosing Scope rewinds (an identical next pass walks identically,
   // so the skip costs no allocations in steady state).
@@ -41,6 +58,12 @@ void* WorkspaceArena::bump(std::size_t bytes) {
     blocks_.push_back(Block{data, size});
     used_ = 0;
     g_heap_blocks.fetch_add(1, std::memory_order_relaxed);
+    note_heap_bytes(g_heap_bytes.fetch_add(size, std::memory_order_relaxed) +
+                    size);
+    if (obs::trace_enabled()) {
+      static obs::Counter& grows = obs::counter("arena.block_allocs");
+      grows.add(1);
+    }
   }
   std::byte* ptr = blocks_[current_].data + used_;
   used_ += bytes;
@@ -60,6 +83,14 @@ WorkspaceArena& WorkspaceArena::tls() {
 
 std::uint64_t WorkspaceArena::total_heap_blocks() {
   return g_heap_blocks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkspaceArena::total_heap_bytes() {
+  return g_heap_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkspaceArena::peak_heap_bytes() {
+  return g_heap_bytes_peak.load(std::memory_order_relaxed);
 }
 
 }  // namespace sdmpeb

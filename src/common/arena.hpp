@@ -66,6 +66,12 @@ class WorkspaceArena {
   /// arena-reuse test pins this.
   static std::uint64_t total_heap_blocks();
 
+  /// Process-wide bytes of live backing blocks across all arenas, and the
+  /// high-water mark that value ever reached (the "arena.high_water_bytes"
+  /// metric in the observability dump).
+  static std::uint64_t total_heap_bytes();
+  static std::uint64_t peak_heap_bytes();
+
  private:
   struct Block {
     std::byte* data;

@@ -11,6 +11,7 @@
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -236,10 +237,42 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
           std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
           bool trans_b, float* c, std::int64_t ldc, float beta) {
-  if (backend() == Backend::kNaive)
+  const bool naive = backend() == Backend::kNaive;
+  if (!obs::trace_enabled()) {
+    // Zero-instrumentation fast path: one predicted-taken branch above.
+    if (naive)
+      gemm_naive(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, beta);
+    else
+      gemm_packed(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, beta);
+    return;
+  }
+
+  const auto flops = static_cast<std::uint64_t>(2) *
+                     static_cast<std::uint64_t>(m) *
+                     static_cast<std::uint64_t>(n) *
+                     static_cast<std::uint64_t>(k);
+  SDMPEB_SPAN("gemm", "flops", static_cast<std::int64_t>(flops));
+  const std::uint64_t t0 = obs::now_ns();
+  if (naive)
     gemm_naive(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, beta);
   else
     gemm_packed(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, beta);
+  const std::uint64_t dt_ns = obs::now_ns() - t0;
+
+  static obs::Counter& calls = obs::counter("gemm.calls");
+  static obs::Counter& total_flops = obs::counter("gemm.flops");
+  static obs::Counter& total_ns = obs::counter("gemm.time_ns");
+  static obs::Counter& backend_packed = obs::counter("gemm.backend.packed");
+  static obs::Counter& backend_naive = obs::counter("gemm.backend.naive");
+  static obs::Histogram& call_gflops = obs::histogram(
+      "gemm.call_gflops", {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  calls.add(1);
+  total_flops.add(flops);
+  total_ns.add(dt_ns);
+  (naive ? backend_naive : backend_packed).add(1);
+  if (dt_ns > 0 && flops > 0)
+    call_gflops.add(static_cast<double>(flops) /
+                    static_cast<double>(dt_ns));
 }
 
 }  // namespace sdmpeb::gemm

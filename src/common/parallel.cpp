@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace sdmpeb::parallel {
 
@@ -59,8 +60,18 @@ class Pool {
            const std::function<void(std::int64_t)>& chunk_fn) {
     if (chunks <= 0) return;
     if (threads_ == 1 || chunks == 1 || tl_in_pool) {
+      if (obs::trace_enabled()) {
+        static obs::Counter& inline_jobs = obs::counter("pool.inline_jobs");
+        inline_jobs.add(1);
+      }
       for (std::int64_t c = 0; c < chunks; ++c) chunk_fn(c);
       return;
+    }
+    if (obs::trace_enabled()) {
+      static obs::Counter& jobs = obs::counter("pool.jobs");
+      static obs::Counter& dispatched = obs::counter("pool.chunks");
+      jobs.add(1);
+      dispatched.add(static_cast<std::uint64_t>(chunks));
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -96,7 +107,12 @@ class Pool {
     epoch_ = 0;
     workers_.reserve(static_cast<std::size_t>(n - 1));
     for (int i = 0; i < n - 1; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        // Register the thread with the observability layer up front so
+        // trace spans recorded from this worker carry a stable identity.
+        obs::set_thread_name("pool-worker-" + std::to_string(i + 1));
+        worker_loop();
+      });
   }
 
   void shutdown() {
@@ -135,7 +151,12 @@ class Pool {
       const auto c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
       if (c >= total_chunks_) break;
       try {
-        (*job)(c);
+        if (obs::trace_enabled() && obs::chunk_spans_enabled()) {
+          SDMPEB_SPAN("pool.chunk", "chunk", c);
+          (*job)(c);
+        } else {
+          (*job)(c);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!pending_exception_)

@@ -5,23 +5,58 @@
 namespace sdmpeb {
 
 /// Monotonic wall-clock stopwatch used by the benchmark harnesses to report
-/// per-phase runtimes.
+/// per-phase runtimes, and by span aggregation in the observability layer.
+///
+/// The timer starts running at construction. pause() banks the elapsed time
+/// so far into an accumulator and stops the clock; resume() restarts it.
+/// seconds() always reports the accumulated total plus the live interval
+/// when running — so pause/resume interleavings measure only the intervals
+/// the timer was live.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
-  void reset() { start_ = Clock::now(); }
+  /// Restart from zero: drops accumulated time and resumes running.
+  void reset() {
+    accumulated_s_ = 0.0;
+    running_ = true;
+    start_ = Clock::now();
+  }
 
-  /// Elapsed seconds since construction or the last reset().
+  /// Bank elapsed time and stop the clock. No-op when already paused.
+  void pause() {
+    if (!running_) return;
+    accumulated_s_ += live_seconds();
+    running_ = false;
+  }
+
+  /// Restart the clock after a pause(). No-op when already running.
+  void resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
+
+  /// Elapsed seconds over every interval the timer was running since
+  /// construction or the last reset().
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return accumulated_s_ + (running_ ? live_seconds() : 0.0);
   }
 
   double milliseconds() const { return seconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  double live_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
   Clock::time_point start_;
+  double accumulated_s_ = 0.0;
+  bool running_ = true;
 };
 
 }  // namespace sdmpeb

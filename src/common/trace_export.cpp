@@ -1,0 +1,173 @@
+#include "common/trace_export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/arena.hpp"
+#include "common/obs.hpp"
+
+namespace sdmpeb::obs {
+
+namespace {
+
+/// JSON string escape (control chars, quotes, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a double without locale surprises and with enough precision for
+/// microsecond timestamps.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const auto spans = collect_spans();
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // Thread-name metadata: one "M" event per tid that recorded anything.
+  int last_tid = -1;
+  for (const auto& s : spans) {
+    if (s.tid == last_tid) continue;
+    last_tid = s.tid;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << s.tid << ",\"args\":{\"name\":\"" << json_escape(s.thread_name)
+       << "\"}}";
+  }
+
+  for (const auto& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    const double ts_us = static_cast<double>(s.begin_ns) * 1e-3;
+    const double dur_us =
+        static_cast<double>(s.end_ns - s.begin_ns) * 1e-3;
+    os << "{\"name\":\"" << json_escape(s.name)
+       << "\",\"cat\":\"sdmpeb\",\"ph\":\"X\",\"ts\":" << fmt_double(ts_us)
+       << ",\"dur\":" << fmt_double(dur_us) << ",\"pid\":1,\"tid\":"
+       << s.tid;
+    if (!s.arg_name.empty())
+      os << ",\"args\":{\"" << json_escape(s.arg_name) << "\":" << s.arg
+         << "}";
+    os << "}";
+  }
+  os << "]}";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  write_chrome_trace(file);
+  return static_cast<bool>(file);
+}
+
+void refresh_derived_metrics() {
+  gauge("arena.high_water_bytes")
+      .update_max(static_cast<double>(WorkspaceArena::peak_heap_bytes()));
+  gauge("arena.heap_blocks")
+      .set(static_cast<double>(WorkspaceArena::total_heap_blocks()));
+  gauge("obs.dropped_spans").set(static_cast<double>(dropped_spans()));
+
+  // Achieved GEMM throughput over the whole run (flops and wall time are
+  // both accumulated at the gemm() dispatch when tracing is on).
+  const auto flops = counter("gemm.flops").value();
+  const auto ns = counter("gemm.time_ns").value();
+  if (flops > 0 && ns > 0)
+    gauge("gemm.gflops")
+        .set(static_cast<double>(flops) / static_cast<double>(ns));
+}
+
+void write_metrics_csv(std::ostream& os) {
+  refresh_derived_metrics();
+  const auto snap = snapshot_metrics();
+  os << "name,kind,value,count,sum\n";
+  for (const auto& [name, value] : snap.counters)
+    os << name << ",counter," << value << ",,\n";
+  for (const auto& [name, value] : snap.gauges)
+    os << name << ",gauge," << fmt_double(value) << ",,\n";
+  for (const auto& h : snap.histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << h.name << ",histogram_le_";
+      if (i < h.bounds.size())
+        os << fmt_double(h.bounds[i]);
+      else
+        os << "inf";
+      os << "," << h.counts[i] << ",,\n";
+    }
+    os << h.name << ",histogram," << fmt_double(
+              h.total > 0 ? h.sum / static_cast<double>(h.total) : 0.0)
+       << "," << h.total << "," << fmt_double(h.sum) << "\n";
+  }
+}
+
+bool write_metrics_csv_file(const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  write_metrics_csv(file);
+  return static_cast<bool>(file);
+}
+
+void write_metrics_json(std::ostream& os) {
+  refresh_derived_metrics();
+  const auto snap = snapshot_metrics();
+  os << "{";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    sep();
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    sep();
+    os << "\"" << json_escape(name) << "\":" << fmt_double(value);
+  }
+  for (const auto& h : snap.histograms) {
+    sep();
+    os << "\"" << json_escape(h.name) << "\":{\"count\":" << h.total
+       << ",\"sum\":" << fmt_double(h.sum) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"le\":";
+      if (i < h.bounds.size())
+        os << fmt_double(h.bounds[i]);
+      else
+        os << "\"inf\"";
+      os << ",\"count\":" << h.counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "}";
+}
+
+}  // namespace sdmpeb::obs

@@ -1,0 +1,36 @@
+#pragma once
+
+// Exporters for the observability layer (common/obs.hpp): Chrome/Perfetto
+// `trace_event` JSON for spans, and CSV / JSON dumps of the metrics
+// registry. Opening a trace: chrome://tracing or https://ui.perfetto.dev,
+// "Open trace file", pick the emitted .json.
+
+#include <iosfwd>
+#include <string>
+
+namespace sdmpeb::obs {
+
+/// Write every recorded span as Chrome trace-event JSON ("X" complete
+/// events, microsecond timestamps, one tid per recording thread, thread
+/// names as "M" metadata events). Valid JSON even with zero spans.
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace to a file; returns false when the file cannot be
+/// opened (never throws — exporters run on teardown paths).
+bool write_chrome_trace_file(const std::string& path);
+
+/// Refresh derived / pull-model metrics before a dump: arena high-water
+/// mark and heap-block count, achieved GEMM GFLOP/s (gemm.flops over
+/// gemm.time_ns), trace-span drop count. Called by both dumpers; callers
+/// only need it directly when reading the registry via snapshot_metrics().
+void refresh_derived_metrics();
+
+/// Metrics registry as CSV: name,kind,value,count,sum — histograms emit one
+/// row per bucket (kind "histogram_le_<edge>") plus a summary row.
+void write_metrics_csv(std::ostream& os);
+bool write_metrics_csv_file(const std::string& path);
+
+/// Metrics registry as a single JSON object keyed by metric name.
+void write_metrics_json(std::ostream& os);
+
+}  // namespace sdmpeb::obs

@@ -1,10 +1,11 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
+#include "common/timer.hpp"
 
 namespace sdmpeb::core {
 
@@ -28,6 +29,8 @@ double train_model(PebNet& model, std::span<const TrainSample> data,
 
   double last_epoch_loss = 0.0;
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    SDMPEB_SPAN("train.epoch", "epoch", epoch);
+    Timer epoch_timer;
     optimizer.set_lr(schedule.lr_at(epoch));
     // Fisher–Yates shuffle driven by the caller's rng for reproducibility.
     for (std::size_t i = order.size(); i > 1; --i)
@@ -65,10 +68,24 @@ double train_model(PebNet& model, std::span<const TrainSample> data,
       model.zero_grad();
     }
     last_epoch_loss = epoch_loss / static_cast<double>(data.size());
+    const double epoch_s = epoch_timer.seconds();
+    const double examples_per_s =
+        epoch_s > 0.0 ? static_cast<double>(data.size()) / epoch_s : 0.0;
+    if (obs::trace_enabled()) {
+      static obs::Counter& examples = obs::counter("train.examples");
+      examples.add(static_cast<std::uint64_t>(data.size()));
+      static obs::Counter& epochs = obs::counter("train.epochs");
+      epochs.add(1);
+      obs::gauge("train.epoch_loss").set(last_epoch_loss);
+      obs::gauge("train.examples_per_s").set(examples_per_s);
+      if (optimizer.last_grad_norm() >= 0.0)
+        obs::gauge("train.grad_norm").set(optimizer.last_grad_norm());
+    }
     if (config.verbose)
-      std::printf("[%s] epoch %3lld  loss %.6f  lr %.5f\n",
-                  model.name().c_str(), static_cast<long long>(epoch),
-                  last_epoch_loss, optimizer.lr());
+      SDMPEB_LOG(obs::LogLevel::kInfo)
+          << "[" << model.name() << "] epoch " << epoch << "  loss "
+          << last_epoch_loss << "  lr " << optimizer.lr() << "  ("
+          << examples_per_s << " examples/s)";
   }
   return last_epoch_loss;
 }

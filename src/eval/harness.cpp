@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "common/timer.hpp"
 
 namespace sdmpeb::eval {
@@ -11,6 +12,8 @@ namespace sdmpeb::eval {
 MethodResult evaluate_model(const core::PebNet& model,
                             const Dataset& dataset) {
   SDMPEB_CHECK(!dataset.test.empty());
+  SDMPEB_SPAN("eval.model", "test_samples",
+              static_cast<std::int64_t>(dataset.test.size()));
   MethodResult result;
   result.name = model.name();
 
@@ -18,6 +21,7 @@ MethodResult evaluate_model(const core::PebNet& model,
   std::vector<double> all_sq_err_y;
   double runtime_total = 0.0;
   for (const auto& sample : dataset.test) {
+    SDMPEB_SPAN("eval.sample");
     Timer timer;
     const Tensor label_pred = core::predict(model, sample.acid_tensor);
     runtime_total += timer.seconds();
@@ -49,6 +53,15 @@ MethodResult evaluate_model(const core::PebNet& model,
   result.cd_error_x_nm = cd_rms(result.cd_abs_err_x_nm);
   result.cd_error_y_nm = cd_rms(result.cd_abs_err_y_nm);
   result.runtime_seconds = runtime_total / n;
+  if (obs::trace_enabled()) {
+    static obs::Counter& evals = obs::counter("eval.samples");
+    evals.add(static_cast<std::uint64_t>(dataset.test.size()));
+    obs::gauge("eval.inference_s_per_sample").set(result.runtime_seconds);
+  }
+  SDMPEB_LOG(obs::LogLevel::kDebug)
+      << "evaluated " << result.name << " on " << dataset.test.size()
+      << " samples: inhibitor RMSE " << result.accuracy.inhibitor_rmse
+      << ", " << result.runtime_seconds << " s/sample";
   return result;
 }
 

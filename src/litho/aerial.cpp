@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace sdmpeb::litho {
@@ -61,11 +62,17 @@ Tensor convolve_axis(const Tensor& image, const std::vector<float>& kernel,
 
 Tensor gaussian_blur2d(const Tensor& image, double sigma_px) {
   SDMPEB_CHECK(image.rank() == 2);
+  SDMPEB_SPAN("litho.blur2d");
+  if (obs::trace_enabled()) {
+    static obs::Counter& blurs = obs::counter("litho.blurs");
+    blurs.add(1);
+  }
   const auto kernel = gaussian_kernel(sigma_px);
   return convolve_axis(convolve_axis(image, kernel, true), kernel, false);
 }
 
 Grid3 simulate_aerial_image(const MaskClip& mask, const AerialParams& params) {
+  SDMPEB_SPAN("litho.aerial");
   SDMPEB_CHECK(mask.pixels.rank() == 2);
   SDMPEB_CHECK(params.z_pixel_nm > 0.0);
   SDMPEB_CHECK(params.resist_thickness_nm >= params.z_pixel_nm);

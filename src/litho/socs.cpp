@@ -4,12 +4,14 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace sdmpeb::litho {
 
 Grid3 simulate_aerial_image_socs(const MaskClip& mask,
                                  const SocsParams& params) {
+  SDMPEB_SPAN("litho.socs", "kernels", params.kernel_count);
   SDMPEB_CHECK(mask.pixels.rank() == 2);
   SDMPEB_CHECK(params.kernel_count >= 1);
   SDMPEB_CHECK(params.sigma_spread >= 0.0);

@@ -6,6 +6,7 @@
 #include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/gemm.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
@@ -207,6 +208,22 @@ void col2im_3d_slice(float* im, std::int64_t channels, std::int64_t din,
 }
 
 bool use_gemm() { return gemm::backend() == gemm::Backend::kPacked; }
+
+/// Record which conv backend a dispatch took and, on the GEMM path, the
+/// logical im2col patch-matrix footprint it lowers through (the direct
+/// path builds no patch matrix).
+void note_conv_dispatch(bool gemm_path, std::int64_t im2col_floats) {
+  if (!obs::trace_enabled()) return;
+  static obs::Counter& to_gemm = obs::counter("conv.dispatch.gemm");
+  static obs::Counter& to_direct = obs::counter("conv.dispatch.direct");
+  if (gemm_path) {
+    to_gemm.add(1);
+    static obs::Counter& bytes = obs::counter("conv.im2col_bytes");
+    bytes.add(static_cast<std::uint64_t>(im2col_floats) * sizeof(float));
+  } else {
+    to_direct.add(1);
+  }
+}
 
 /// Ascending-index float sum of one gradient row (bias partials).
 float row_sum(const float* row, std::int64_t n) {
@@ -441,6 +458,9 @@ Value conv2d_per_depth(const Value& x, const Value& w, const Value& bias,
 
   Tensor out(Shape{dims.cout, dims.depth, dims.hout, dims.wout});
   {
+    SDMPEB_SPAN("conv2d", "out_elems", out.numel());
+    note_conv_dispatch(use_gemm(), dims.depth * dims.cin * dims.kh *
+                                       dims.kw * dims.hout * dims.wout);
     const float* pb = bias ? bias->value().raw() : nullptr;
     if (use_gemm())
       conv2d_forward_gemm(dims, xv.raw(), wv.raw(), pb, out.raw());
@@ -453,6 +473,7 @@ Value conv2d_per_depth(const Value& x, const Value& w, const Value& bias,
   if (bias) parents.push_back(bias);
   return detail::make_result(
       std::move(out), std::move(parents), [xc, wc, bc, dims](Node& self) {
+        SDMPEB_SPAN("conv2d.bwd");
         const Tensor& g = self.grad();
         const bool need_x = xc->requires_grad();
         const bool need_w = wc->requires_grad();
@@ -653,6 +674,9 @@ Value conv_transpose2d_per_depth(const Value& x, const Value& w,
 
   Tensor out(Shape{dims.cout, dims.depth, dims.hout, dims.wout});
   {
+    SDMPEB_SPAN("convt2d", "out_elems", out.numel());
+    note_conv_dispatch(use_gemm(), dims.depth * dims.cout * dims.kh *
+                                       dims.kw * dims.hin * dims.win);
     float* po = out.raw();
     if (bias) {
       const float* pb = bias->value().raw();
@@ -671,6 +695,7 @@ Value conv_transpose2d_per_depth(const Value& x, const Value& w,
   if (bias) parents.push_back(bias);
   return detail::make_result(
       std::move(out), std::move(parents), [xc, wc, bc, dims](Node& self) {
+        SDMPEB_SPAN("convt2d.bwd");
         const Tensor& g = self.grad();
         const bool need_x = xc->requires_grad();
         const bool need_w = wc->requires_grad();
@@ -915,6 +940,9 @@ Value conv3d(const Value& x, const Value& w, const Value& bias,
 
   Tensor out(Shape{dims.cout, dims.dout, dims.hout, dims.wout});
   {
+    SDMPEB_SPAN("conv3d", "out_elems", out.numel());
+    note_conv_dispatch(use_gemm(), dims.cin * dims.kd * dims.kh * dims.kw *
+                                       dims.dout * dims.hout * dims.wout);
     const float* pb = bias ? bias->value().raw() : nullptr;
     if (use_gemm())
       conv3d_forward_gemm(dims, xv.raw(), wv.raw(), pb, out.raw());
@@ -927,6 +955,7 @@ Value conv3d(const Value& x, const Value& w, const Value& bias,
   if (bias) parents.push_back(bias);
   return detail::make_result(
       std::move(out), std::move(parents), [xc, wc, bc, dims](Node& self) {
+        SDMPEB_SPAN("conv3d.bwd");
         const Tensor& g = self.grad();
         const bool need_x = xc->requires_grad();
         const bool need_w = wc->requires_grad();
@@ -969,6 +998,8 @@ Value dwconv3d(const Value& x, const Value& w, const Value& bias,
 
   Tensor out(Shape{channels, dout, hout, wout});
   {
+    SDMPEB_SPAN("dwconv3d", "out_elems", out.numel());
+    note_conv_dispatch(false, 0);
     const float* px = xv.raw();
     const float* pw = wv.raw();
     const float* pb = bias ? bias->value().raw() : nullptr;
@@ -1035,6 +1066,7 @@ Value dwconv3d(const Value& x, const Value& w, const Value& bias,
   if (bias) parents.push_back(bias);
   return detail::make_result(
       std::move(out), std::move(parents), [xc, wc, bc, pad](Node& self) {
+        SDMPEB_SPAN("dwconv3d.bwd");
         const Tensor& g = self.grad();
         const Tensor& xv = xc->value();
         const Tensor& wv = wc->value();
@@ -1098,6 +1130,8 @@ Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
 
   Tensor out(Shape{rows, cols});
   {
+    SDMPEB_SPAN("dwconv1d", "out_elems", out.numel());
+    note_conv_dispatch(false, 0);
     const float* px = xv.raw();
     const float* pw = wv.raw();
     const float* pb = bias ? bias->value().raw() : nullptr;
@@ -1134,6 +1168,7 @@ Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
   if (bias) parents.push_back(bias);
   return detail::make_result(
       std::move(out), std::move(parents), [xc, wc, bc](Node& self) {
+        SDMPEB_SPAN("dwconv1d.bwd");
         const Tensor& g = self.grad();
         const Tensor& xv = xc->value();
         const Tensor& wv = wc->value();

@@ -3,6 +3,7 @@
 
 #include "common/error.hpp"
 #include "common/gemm.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
@@ -46,10 +47,12 @@ void add_maybe_transposed(Tensor& dst, const Tensor& src, bool transpose) {
 }  // namespace
 
 Value matmul(const Value& a, const Value& b, bool trans_a, bool trans_b) {
+  SDMPEB_SPAN("matmul");
   Tensor out = matmul_raw(a->value(), b->value(), trans_a, trans_b);
   Value ac = a, bc = b;
   return detail::make_result(
       std::move(out), {a, b}, [ac, bc, trans_a, trans_b](Node& self) {
+        SDMPEB_SPAN("matmul.bwd");
         const Tensor& g = self.grad();
         if (ac->requires_grad()) {
           // d(op_a(A)) = G @ op_b(B)^T
@@ -65,6 +68,7 @@ Value matmul(const Value& a, const Value& b, bool trans_a, bool trans_b) {
 }
 
 Value linear(const Value& x, const Value& w, const Value& bias) {
+  SDMPEB_SPAN("linear");
   SDMPEB_CHECK(x->value().rank() == 2 && w->value().rank() == 2);
   SDMPEB_CHECK_MSG(x->value().dim(1) == w->value().dim(0),
                    "linear: x cols " << x->value().dim(1) << " != w rows "
@@ -83,6 +87,7 @@ Value linear(const Value& x, const Value& w, const Value& bias) {
   if (bias) parents.push_back(bias);
   return detail::make_result(
       std::move(out), std::move(parents), [xc, wc, bc](Node& self) {
+        SDMPEB_SPAN("linear.bwd");
         const Tensor& g = self.grad();
         if (xc->requires_grad())
           xc->grad() += matmul_raw(g, wc->value(), false, true);
@@ -179,6 +184,7 @@ Value log_softmax_rows(const Value& x, float tau) {
 
 Value layer_norm(const Value& x, const Value& gamma, const Value& beta,
                  float eps) {
+  SDMPEB_SPAN("layer_norm");
   SDMPEB_CHECK(x->value().rank() == 2);
   const auto rows = x->value().dim(0);
   const auto cols = x->value().dim(1);

@@ -30,6 +30,7 @@ void Adam::step() {
         norm_sq += static_cast<double>(g[i]) * g[i];
     }
     const double norm = std::sqrt(norm_sq);
+    last_grad_norm_ = norm;
     if (norm > options_.grad_clip_norm)
       scale = static_cast<float>(options_.grad_clip_norm / norm);
   }

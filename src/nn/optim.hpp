@@ -30,12 +30,18 @@ class Adam {
   /// Apply one update from the currently accumulated gradients.
   void step();
 
+  /// Global gradient norm observed by the most recent step(). Only computed
+  /// when grad_clip_norm > 0 (clipping already walks every gradient); stays
+  /// negative otherwise so callers can tell "not measured" from zero.
+  double last_grad_norm() const { return last_grad_norm_; }
+
  private:
   std::vector<Value> params_;
   Options options_;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;
   std::int64_t t_ = 0;
+  double last_grad_norm_ = -1.0;
 };
 
 /// Step-decay learning-rate schedule: lr(epoch) = lr0 * gamma^(epoch / step)

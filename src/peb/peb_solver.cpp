@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace sdmpeb::peb {
@@ -27,6 +28,7 @@ PebState PebSolver::initial_state(const Grid3& acid0) const {
 }
 
 void PebSolver::reaction_half_step(PebState& state, double dt) const {
+  SDMPEB_SPAN("peb.reaction");
   const double kr = params_.reaction_coeff;
   const double kc = params_.catalysis_coeff;
   auto acid = state.acid.data();
@@ -116,6 +118,14 @@ void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
     case 2: lines = depth * height; break;
     default: break;
   }
+  SDMPEB_SPAN("peb.diffuse_axis", "axis", axis);
+  if (obs::trace_enabled()) {
+    static obs::Counter& sweeps = obs::counter("peb.adi_sweeps");
+    static obs::Counter& solved = obs::counter("peb.adi_lines");
+    sweeps.add(1);
+    solved.add(static_cast<std::uint64_t>(lines));
+  }
+
   const auto line_base = [&](std::int64_t line) -> std::int64_t {
     switch (axis) {
       case 0: return line;  // (h, w) plane cell, stride height*width
@@ -176,6 +186,12 @@ void PebSolver::diffuse_explicit(Grid3& field, double diff_z, double diff_xy,
       1, static_cast<std::int64_t>(std::ceil(dt / dt_stable)));
   const double dt_sub = dt / static_cast<double>(substeps);
 
+  SDMPEB_SPAN("peb.diffuse_explicit", "substeps", substeps);
+  if (obs::trace_enabled()) {
+    static obs::Counter& count = obs::counter("peb.explicit_substeps");
+    count.add(static_cast<std::uint64_t>(substeps));
+  }
+
   Grid3 next(depth, height, width);
   for (std::int64_t step = 0; step < substeps; ++step) {
     // Jacobi update: reads `field`, writes `next` — depth slabs are
@@ -233,6 +249,11 @@ void PebSolver::diffusion_step(PebState& state, double dt) const {
 }
 
 void PebSolver::step(PebState& state) const {
+  SDMPEB_SPAN("peb.step");
+  if (obs::trace_enabled()) {
+    static obs::Counter& steps = obs::counter("peb.steps");
+    steps.add(1);
+  }
   const double dt = params_.dt_s;
   reaction_half_step(state, 0.5 * dt);
   diffusion_step(state, dt);

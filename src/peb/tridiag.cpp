@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace sdmpeb::peb {
 
@@ -30,6 +31,13 @@ void TridiagSolver::solve(std::span<const double> sub,
   SDMPEB_CHECK(sub.size() == n && sup.size() == n && rhs.size() == n &&
                solution.size() == n);
   SDMPEB_CHECK(c_scratch.size() >= n && d_scratch.size() >= n);
+
+  // Per-line counter only — a span here would flood the rings (one solve
+  // per grid line per sweep); the enclosing ADI sweep carries the span.
+  if (obs::trace_enabled()) {
+    static obs::Counter& solves = obs::counter("peb.tridiag_solves");
+    solves.add(1);
+  }
 
   auto c = c_scratch;
   auto d = d_scratch;

@@ -16,12 +16,15 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "baselines/deep_cnn.hpp"
 #include "baselines/deepeb.hpp"
 #include "baselines/fno.hpp"
 #include "baselines/tempo_resist.hpp"
+#include "common/obs.hpp"
+#include "common/trace_export.hpp"
 #include "core/sdm_peb_model.hpp"
 #include "eval/harness.hpp"
 #include "io/pgm.hpp"
@@ -146,20 +149,71 @@ void print_usage() {
   std::printf(
       "usage: sdmpeb_cli <simulate|train|evaluate> [--key value ...]\n"
       "  common:   --clips N --seed S --bake-seconds T\n"
+      "            --trace PATH   (enable tracing, write Chrome trace JSON)\n"
+      "            --metrics PATH (write metrics CSV; implies tracing)\n"
+      "            SDMPEB_TRACE=1 enables tracing with default output paths\n"
       "  simulate: --out DIR\n"
       "  train:    --model sdm|deepcnn|tempo|fno|deepeb --epochs E "
       "--out CKPT\n"
       "  evaluate: --model M --ckpt CKPT\n");
 }
 
+/// Resolve observability outputs: --trace/--metrics force tracing on;
+/// SDMPEB_TRACE=1 alone uses default paths under bench_out/.
+struct ObsConfig {
+  bool enabled = false;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+ObsConfig resolve_obs(const CliArgs& args) {
+  ObsConfig cfg;
+  cfg.trace_path = args.get("trace", "");
+  cfg.metrics_path = args.get("metrics", "");
+  if (!cfg.trace_path.empty() || !cfg.metrics_path.empty())
+    obs::set_trace_enabled(true);
+  cfg.enabled = obs::trace_enabled();
+  if (cfg.enabled && cfg.trace_path.empty())
+    cfg.trace_path = "bench_out/trace.json";
+  if (cfg.enabled && cfg.metrics_path.empty())
+    cfg.metrics_path = "bench_out/metrics.csv";
+  return cfg;
+}
+
+void dump_obs(const ObsConfig& cfg) {
+  if (!cfg.enabled) return;
+  obs::refresh_derived_metrics();
+  const auto parent = std::filesystem::path(cfg.trace_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  const auto metrics_parent =
+      std::filesystem::path(cfg.metrics_path).parent_path();
+  if (!metrics_parent.empty())
+    std::filesystem::create_directories(metrics_parent);
+  if (obs::write_chrome_trace_file(cfg.trace_path)) {
+    SDMPEB_LOG(obs::LogLevel::kInfo) << "trace: " << cfg.trace_path;
+  }
+  if (obs::write_metrics_csv_file(cfg.metrics_path)) {
+    SDMPEB_LOG(obs::LogLevel::kInfo) << "metrics: " << cfg.metrics_path;
+  }
+  std::ostringstream json;
+  obs::write_metrics_json(json);
+  std::printf("%s\n", json.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
+  const auto obs_cfg = resolve_obs(args);
   try {
-    if (args.command == "simulate") return cmd_simulate(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "evaluate") return cmd_evaluate(args);
+    int rc = -1;
+    if (args.command == "simulate") rc = cmd_simulate(args);
+    if (args.command == "train") rc = cmd_train(args);
+    if (args.command == "evaluate") rc = cmd_evaluate(args);
+    if (rc >= 0) {
+      dump_obs(obs_cfg);
+      return rc;
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
