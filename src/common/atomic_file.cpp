@@ -1,0 +1,58 @@
+#include "common/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace sdmpeb {
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  namespace fs = std::filesystem;
+  // Unique per process + call so concurrent writers never share a temp.
+  static std::atomic<std::uint64_t> sequence{0};
+  const auto seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  const fs::path target(path);
+  fs::path tmp = target;
+  tmp += ".tmp." + std::to_string(::getpid()) + "." + std::to_string(seq);
+
+  std::string payload = contents;
+  if (fault::should_fire("io.bitflip") && !payload.empty()) {
+    const auto bit = fault::draw_index(payload.size() * 8);
+    payload[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw Error("atomic write: cannot open temporary " + tmp.string());
+    }
+    const bool abort_write = fault::should_fire("io.write");
+    const std::size_t n = abort_write ? payload.size() / 2 : payload.size();
+    out.write(payload.data(), static_cast<std::streamsize>(n));
+    out.flush();
+    if (!out.good() || abort_write) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error("atomic write: failed writing " + tmp.string() +
+                  (abort_write ? " (injected io.write fault)" : ""));
+    }
+  }
+
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw Error("atomic write: rename " + tmp.string() + " -> " + path +
+                " failed: " + ec.message());
+  }
+}
+
+}  // namespace sdmpeb

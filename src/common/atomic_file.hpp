@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+namespace sdmpeb {
+
+/// Durably replace `path` with `contents`: write a temporary file in the
+/// destination directory, flush it to disk, then rename over the target.
+/// POSIX rename within one filesystem is atomic, so a crash (or an injected
+/// `io.write` fault) at any point leaves either the previous file or the
+/// complete new one — never a truncated half-file. Throws sdmpeb::Error on
+/// any failure and removes the temporary.
+///
+/// Fault sites: `io.write` aborts the write mid-payload; `io.bitflip` flips
+/// one payload bit before it hits the disk (exercises the CRC rejection
+/// path of the v2 checkpoint formats).
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+}  // namespace sdmpeb

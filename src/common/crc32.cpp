@@ -1,0 +1,42 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace sdmpeb {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = build_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  std::uint32_t crc = state_;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ t[(crc ^ bytes[i]) & 0xFFu];
+  state_ = crc;
+}
+
+std::uint32_t Crc32::compute(const void* data, std::size_t size) {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace sdmpeb

@@ -1,8 +1,8 @@
 #include "common/csv.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace sdmpeb {
@@ -64,10 +64,9 @@ std::string CsvWriter::to_string() const {
 }
 
 void CsvWriter::save(const std::string& path) const {
-  std::ofstream out(path);
-  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  out << to_string();
-  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+  // Atomic replace: a crash mid-dump leaves the previous CSV intact, never
+  // a truncated half-file.
+  atomic_write_file(path, to_string());
 }
 
 }  // namespace sdmpeb

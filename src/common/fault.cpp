@@ -1,0 +1,117 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/obs.hpp"
+#include "common/rng.hpp"
+
+namespace sdmpeb::fault {
+
+namespace detail {
+std::atomic<bool> g_faults_on{false};
+}  // namespace detail
+
+namespace {
+
+struct Injector {
+  std::map<std::string, double> probs;
+  std::map<std::string, std::uint64_t> fired;
+  Rng rng{1};
+};
+
+std::mutex g_mutex;
+
+Injector& injector() {
+  static Injector inj;
+  return inj;
+}
+
+/// Parse "site:prob,site:prob" into the injector. Malformed entries throw:
+/// a typo in SDMPEB_FAULTS silently disabling a soak test would defeat the
+/// point of the harness.
+void apply_spec(Injector& inj, const std::string& spec, std::uint64_t seed) {
+  inj.probs.clear();
+  inj.fired.clear();
+  inj.rng = Rng(seed);
+  std::istringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto colon = entry.find(':');
+    SDMPEB_CHECK_MSG(colon != std::string::npos && colon > 0,
+                     "bad fault spec entry '" << entry
+                                              << "' (want site:prob)");
+    const std::string site = entry.substr(0, colon);
+    char* end = nullptr;
+    const double prob = std::strtod(entry.c_str() + colon + 1, &end);
+    SDMPEB_CHECK_MSG(end && *end == '\0',
+                     "bad fault probability in '" << entry << "'");
+    inj.probs[site] = std::min(std::max(prob, 0.0), 1.0);
+  }
+  detail::g_faults_on.store(!inj.probs.empty(), std::memory_order_relaxed);
+}
+
+/// One-time environment resolution, before any site can fire.
+const bool g_env_applied = [] {
+  const char* spec = std::getenv("SDMPEB_FAULTS");
+  if (spec && *spec) {
+    const char* seed_env = std::getenv("SDMPEB_FAULTS_SEED");
+    const auto seed =
+        seed_env ? static_cast<std::uint64_t>(std::strtoull(seed_env, nullptr,
+                                                            10))
+                 : std::uint64_t{1};
+    std::lock_guard<std::mutex> lock(g_mutex);
+    apply_spec(injector(), spec, seed);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+bool should_fire_slow(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& inj = injector();
+  const auto it = inj.probs.find(site);
+  if (it == inj.probs.end()) return false;
+  if (!inj.rng.bernoulli(it->second)) return false;
+  ++inj.fired[site];
+  obs::counter(std::string("fault.") + site).add(1);
+  return true;
+}
+
+}  // namespace detail
+
+std::size_t draw_index(std::size_t n) {
+  SDMPEB_CHECK(n > 0);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return static_cast<std::size_t>(injector().rng.uniform_int(
+      0, static_cast<std::int64_t>(n) - 1));
+}
+
+void configure(const std::string& spec, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  apply_spec(injector(), spec, seed);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& inj = injector();
+  inj.probs.clear();
+  inj.fired.clear();
+  detail::g_faults_on.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t fired_count(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto& fired = injector().fired;
+  const auto it = fired.find(site);
+  return it == fired.end() ? 0 : it->second;
+}
+
+}  // namespace sdmpeb::fault

@@ -83,4 +83,18 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng::State Rng::state() const {
+  State s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.cached_normal = cached_normal_;
+  s.has_cached_normal = has_cached_normal_ ? 1 : 0;
+  return s;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal != 0;
+}
+
 }  // namespace sdmpeb

@@ -36,6 +36,16 @@ class Rng {
   /// Derive an independent child stream (for per-component seeding).
   Rng split();
 
+  /// Complete serialisable generator state (xoshiro words plus the Box–
+  /// Muller cache) so checkpoint/resume replays the exact same stream.
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    std::uint8_t has_cached_normal = 0;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t state_[4];
   double cached_normal_ = 0.0;

@@ -1,10 +1,11 @@
 #include "common/trace_export.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/arena.hpp"
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
 #include "common/obs.hpp"
 
 namespace sdmpeb::obs {
@@ -83,10 +84,16 @@ void write_chrome_trace(std::ostream& os) {
 }
 
 bool write_chrome_trace_file(const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return false;
-  write_chrome_trace(file);
-  return static_cast<bool>(file);
+  // Render in memory and replace atomically: exporters run on teardown /
+  // crash paths, where a torn half-JSON would be worse than no file.
+  std::ostringstream buffer;
+  write_chrome_trace(buffer);
+  try {
+    atomic_write_file(path, buffer.str());
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
 }
 
 void refresh_derived_metrics() {
@@ -129,10 +136,14 @@ void write_metrics_csv(std::ostream& os) {
 }
 
 bool write_metrics_csv_file(const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return false;
-  write_metrics_csv(file);
-  return static_cast<bool>(file);
+  std::ostringstream buffer;
+  write_metrics_csv(buffer);
+  try {
+    atomic_write_file(path, buffer.str());
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
 }
 
 void write_metrics_json(std::ostream& os) {

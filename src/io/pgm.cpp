@@ -1,8 +1,9 @@
 #include "io/pgm.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace sdmpeb::io {
@@ -13,16 +14,23 @@ void save_pgm(const Tensor& image2d, const std::string& path, float lo,
   SDMPEB_CHECK(hi > lo);
   const auto height = image2d.dim(0);
   const auto width = image2d.dim(1);
-  std::ofstream out(path, std::ios::binary);
-  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path);
-  out << "P5\n" << width << ' ' << height << "\n255\n";
+  std::string contents;
+  {
+    std::ostringstream header;
+    header << "P5\n" << width << ' ' << height << "\n255\n";
+    contents = header.str();
+  }
+  contents.reserve(contents.size() +
+                   static_cast<std::size_t>(image2d.numel()));
   for (std::int64_t i = 0; i < image2d.numel(); ++i) {
     const float t = (image2d[i] - lo) / (hi - lo);
     const auto byte = static_cast<unsigned char>(
         std::clamp(t, 0.0f, 1.0f) * 255.0f + 0.5f);
-    out.put(static_cast<char>(byte));
+    contents.push_back(static_cast<char>(byte));
   }
-  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+  // Temp-file + rename: a crash mid-dump never leaves a truncated image in
+  // flow_out/ / bench_out/.
+  atomic_write_file(path, contents);
 }
 
 Tensor depth_slice(const Grid3& grid, std::int64_t d) {

@@ -1,9 +1,8 @@
 #include "io/volume_io.hpp"
 
-#include <cstring>
-#include <fstream>
 #include <vector>
 
+#include "common/ckpt.hpp"
 #include "common/error.hpp"
 
 namespace sdmpeb::io {
@@ -12,88 +11,57 @@ namespace {
 
 constexpr char kGridMagic[4] = {'S', 'D', 'M', 'V'};
 constexpr char kTensorMagic[4] = {'S', 'D', 'M', 'T'};
-constexpr std::int64_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  SDMPEB_CHECK_MSG(in.good(), "truncated file while reading");
-  return value;
-}
+constexpr std::int64_t kVersion = 2;
 
 }  // namespace
 
 void save_grid(const Grid3& grid, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path);
-  out.write(kGridMagic, 4);
-  write_pod(out, kVersion);
-  write_pod(out, grid.depth());
-  write_pod(out, grid.height());
-  write_pod(out, grid.width());
-  out.write(reinterpret_cast<const char*>(grid.data().data()),
-            static_cast<std::streamsize>(grid.numel() * sizeof(double)));
-  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+  ckpt::PayloadWriter payload;
+  payload.i64(grid.depth());
+  payload.i64(grid.height());
+  payload.i64(grid.width());
+  payload.bytes(grid.data().data(),
+                static_cast<std::size_t>(grid.numel()) * sizeof(double));
+  ckpt::write_container(path, kGridMagic, kVersion, payload.buffer());
 }
 
 Grid3 load_grid(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SDMPEB_CHECK_MSG(in.good(), "cannot open " << path);
-  char magic[4];
-  in.read(magic, 4);
-  SDMPEB_CHECK_MSG(in.good() && std::memcmp(magic, kGridMagic, 4) == 0,
-                   path << " is not a grid file");
-  const auto version = read_pod<std::int64_t>(in);
-  SDMPEB_CHECK_MSG(version == kVersion, "unsupported grid version " << version);
-  const auto depth = read_pod<std::int64_t>(in);
-  const auto height = read_pod<std::int64_t>(in);
-  const auto width = read_pod<std::int64_t>(in);
+  auto container =
+      ckpt::read_container(path, kGridMagic, kVersion, "grid file");
+  auto& in = container.payload;
+  const auto depth = in.i64();
+  const auto height = in.i64();
+  const auto width = in.i64();
+  SDMPEB_CHECK_MSG(depth > 0 && height > 0 && width > 0,
+                   path << ": implausible grid dims " << depth << "x"
+                        << height << "x" << width);
   Grid3 grid(depth, height, width);
-  in.read(reinterpret_cast<char*>(grid.data().data()),
-          static_cast<std::streamsize>(grid.numel() * sizeof(double)));
-  SDMPEB_CHECK_MSG(in.good(), "truncated grid payload in " << path);
+  in.bytes(grid.data().data(),
+           static_cast<std::size_t>(grid.numel()) * sizeof(double));
   return grid;
 }
 
 void save_tensor(const Tensor& tensor, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  SDMPEB_CHECK_MSG(out.good(), "cannot open " << path);
-  out.write(kTensorMagic, 4);
-  write_pod(out, kVersion);
-  const auto rank = static_cast<std::int64_t>(tensor.rank());
-  write_pod(out, rank);
+  ckpt::PayloadWriter payload;
+  payload.i64(static_cast<std::int64_t>(tensor.rank()));
   for (std::size_t axis = 0; axis < tensor.rank(); ++axis)
-    write_pod(out, tensor.dim(axis));
-  out.write(reinterpret_cast<const char*>(tensor.raw()),
-            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-  SDMPEB_CHECK_MSG(out.good(), "write to " << path << " failed");
+    payload.i64(tensor.dim(axis));
+  payload.bytes(tensor.raw(),
+                static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+  ckpt::write_container(path, kTensorMagic, kVersion, payload.buffer());
 }
 
 Tensor load_tensor(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SDMPEB_CHECK_MSG(in.good(), "cannot open " << path);
-  char magic[4];
-  in.read(magic, 4);
-  SDMPEB_CHECK_MSG(in.good() && std::memcmp(magic, kTensorMagic, 4) == 0,
-                   path << " is not a tensor file");
-  const auto version = read_pod<std::int64_t>(in);
-  SDMPEB_CHECK_MSG(version == kVersion,
-                   "unsupported tensor version " << version);
-  const auto rank = read_pod<std::int64_t>(in);
+  auto container =
+      ckpt::read_container(path, kTensorMagic, kVersion, "tensor file");
+  auto& in = container.payload;
+  const auto rank = in.i64();
   SDMPEB_CHECK_MSG(rank >= 0 && rank <= 8, "implausible rank " << rank);
   std::vector<std::int64_t> dims;
-  for (std::int64_t axis = 0; axis < rank; ++axis)
-    dims.push_back(read_pod<std::int64_t>(in));
+  for (std::int64_t axis = 0; axis < rank; ++axis) dims.push_back(in.i64());
   Tensor tensor{Shape(dims)};
-  in.read(reinterpret_cast<char*>(tensor.raw()),
-          static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-  SDMPEB_CHECK_MSG(in.good(), "truncated tensor payload in " << path);
+  in.bytes(tensor.raw(),
+           static_cast<std::size_t>(tensor.numel()) * sizeof(float));
   return tensor;
 }
 

@@ -19,21 +19,27 @@ Adam::Adam(std::vector<Value> params, Options options)
   }
 }
 
-void Adam::step() {
-  ++t_;
-  float scale = 1.0f;
-  if (options_.grad_clip_norm > 0.0f) {
-    double norm_sq = 0.0;
-    for (auto& p : params_) {
-      const Tensor& g = p->grad();
-      for (std::int64_t i = 0; i < g.numel(); ++i)
-        norm_sq += static_cast<double>(g[i]) * g[i];
-    }
-    const double norm = std::sqrt(norm_sq);
-    last_grad_norm_ = norm;
-    if (norm > options_.grad_clip_norm)
-      scale = static_cast<float>(options_.grad_clip_norm / norm);
+bool Adam::step() {
+  // Global norm walk, always on. It doubles as the non-finite guard: a NaN
+  // anywhere makes the norm NaN, and the old "only when clipping" variant
+  // had a silent failure mode — NaN norm fails the `norm > clip` compare,
+  // the clip disables itself, and the poisoned gradient is applied at full
+  // scale. Rejecting the step here keeps weights and moments recoverable.
+  double norm_sq = 0.0;
+  for (auto& p : params_) {
+    const Tensor& g = p->grad();
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      norm_sq += static_cast<double>(g[i]) * g[i];
   }
+  const double norm = std::sqrt(norm_sq);
+  last_grad_norm_ = norm;
+  last_grad_finite_ = std::isfinite(norm);
+  if (!last_grad_finite_) return false;
+
+  float scale = 1.0f;
+  if (options_.grad_clip_norm > 0.0f && norm > options_.grad_clip_norm)
+    scale = static_cast<float>(options_.grad_clip_norm / norm);
+  ++t_;
 
   const double bias1 = 1.0 - std::pow(options_.beta1, t_);
   const double bias2 = 1.0 - std::pow(options_.beta2, t_);
@@ -53,6 +59,24 @@ void Adam::step() {
                                  (std::sqrt(v_hat) + options_.eps));
     }
   }
+  return true;
+}
+
+void Adam::restore_state(std::vector<Tensor> m, std::vector<Tensor> v,
+                         std::int64_t t) {
+  SDMPEB_CHECK_MSG(m.size() == params_.size() && v.size() == params_.size(),
+                   "optimizer state has " << m.size() << "/" << v.size()
+                                          << " moment tensors, expected "
+                                          << params_.size());
+  SDMPEB_CHECK(t >= 0);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    SDMPEB_CHECK_MSG(m[i].shape() == params_[i]->value().shape() &&
+                         v[i].shape() == params_[i]->value().shape(),
+                     "optimizer moment " << i << " shape mismatch");
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
 }
 
 StepDecaySchedule::StepDecaySchedule(float lr0, std::int64_t step_size,

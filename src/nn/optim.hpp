@@ -27,13 +27,31 @@ class Adam {
   void set_lr(float lr) { options_.lr = lr; }
   float lr() const { return options_.lr; }
 
-  /// Apply one update from the currently accumulated gradients.
-  void step();
+  /// Apply one update from the currently accumulated gradients. Returns
+  /// false — leaving weights, moments and the step count untouched — when
+  /// the global gradient norm is non-finite (a NaN/Inf anywhere in the
+  /// accumulated gradients). Applying such an update would poison every
+  /// weight irrecoverably; callers decide whether to skip, retry or abort.
+  [[nodiscard]] bool step();
 
-  /// Global gradient norm observed by the most recent step(). Only computed
-  /// when grad_clip_norm > 0 (clipping already walks every gradient); stays
-  /// negative otherwise so callers can tell "not measured" from zero.
+  /// Global gradient norm observed by the most recent step() attempt
+  /// (always computed — the non-finite guard needs the full walk anyway).
+  /// May be Inf/NaN when the attempt was rejected; negative before the
+  /// first step so callers can tell "not measured" from zero.
   double last_grad_norm() const { return last_grad_norm_; }
+
+  /// True when the most recent step() attempt saw only finite gradients.
+  bool last_grad_finite() const { return last_grad_finite_; }
+
+  /// Checkpointable optimiser state (serialize.hpp TrainState).
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+  std::int64_t step_count() const { return t_; }
+
+  /// Restore moments + step count from a checkpoint. Shapes must match the
+  /// parameter set this optimiser was built over.
+  void restore_state(std::vector<Tensor> m, std::vector<Tensor> v,
+                     std::int64_t t);
 
  private:
   std::vector<Value> params_;
@@ -42,6 +60,7 @@ class Adam {
   std::vector<Tensor> v_;
   std::int64_t t_ = 0;
   double last_grad_norm_ = -1.0;
+  bool last_grad_finite_ = true;
 };
 
 /// Step-decay learning-rate schedule: lr(epoch) = lr0 * gamma^(epoch / step)

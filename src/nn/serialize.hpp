@@ -1,8 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "nn/module.hpp"
+#include "nn/optim.hpp"
 
 namespace sdmpeb::nn {
 
@@ -11,9 +15,41 @@ namespace sdmpeb::nn {
 /// requires a module constructed with the same configuration — shape
 /// mismatches are rejected with a descriptive error.
 ///
-/// Format: magic "SDMP", version, parameter count, then each parameter as
-/// (rank, dims..., float32 payload).
+/// Wire format (v2, DESIGN.md §10): the common checksummed container
+/// (magic "SDMP", version, payload size, CRC32) around a payload of
+/// (parameter count, then each parameter as rank, dims..., float32 data).
+/// Saves are atomic (temp file + rename); v1 files written before the
+/// checksum era still load.
 void save_parameters(const Module& module, const std::string& path);
 void load_parameters(Module& module, const std::string& path);
+
+/// Everything beyond the weights that an exact training resume needs.
+/// Captured by core::train_model at optimizer-step boundaries; restoring it
+/// replays the interrupted run bit for bit (same shuffle stream, same
+/// accumulation grouping, same loss accumulation order).
+struct TrainState {
+  std::int64_t epoch = 0;          ///< epoch currently in progress
+  std::int64_t sample_cursor = 0;  ///< samples consumed within this epoch
+  double epoch_loss = 0.0;         ///< running loss sum for this epoch
+  double last_epoch_loss = 0.0;    ///< mean loss of the last finished epoch
+  double lr_scale = 1.0;           ///< non-finite-recovery LR backoff factor
+  std::int64_t nonfinite_skips = 0;    ///< windows abandoned for good
+  std::int64_t nonfinite_retries = 0;  ///< window retries performed
+  std::vector<std::int64_t> order;     ///< this epoch's shuffled sample order
+  std::vector<double> epoch_losses;    ///< mean loss per completed epoch
+  Rng::State rng;                      ///< shuffle stream position
+};
+
+/// Save / load a full training checkpoint: module parameters, Adam first /
+/// second moments and step count, and the TrainState bookkeeping above.
+/// Format: checksummed container with magic "SDMS" (always v2 — the format
+/// was born after the checksum era). Saves are atomic.
+void save_train_state(const std::string& path, const Module& module,
+                      const Adam& optimizer, const TrainState& state);
+
+/// Restores parameters + optimizer state in place and returns the
+/// bookkeeping. The module/optimizer must match the checkpoint's shapes.
+TrainState load_train_state(const std::string& path, Module& module,
+                            Adam& optimizer);
 
 }  // namespace sdmpeb::nn

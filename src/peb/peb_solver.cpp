@@ -1,10 +1,14 @@
 #include "peb/peb_solver.hpp"
 
 #include <cmath>
+#include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 
@@ -248,6 +252,33 @@ void PebSolver::diffusion_step(PebState& state, double dt) const {
   diffuse_axis(state.base, 2, params_.base_diff_xy(), dt, 0.0, 0.0);
 }
 
+void PebSolver::advance(PebState& state, double dt) const {
+  reaction_half_step(state, 0.5 * dt);
+  diffusion_step(state, dt);
+  reaction_half_step(state, 0.5 * dt);
+  if (fault::enabled() && fault::should_fire("peb.diverge")) {
+    // Simulated numerical blow-up: one poisoned cell, exactly what an
+    // unstable parameter combination or a hardware fault produces.
+    auto acid = state.acid.data();
+    acid[fault::draw_index(acid.size())] =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+bool PebSolver::state_ok(const PebState& state) const {
+  const double limit = params_.divergence_threshold;
+  const auto field_ok = [limit](const Grid3& field) {
+    for (const double v : field.data()) {
+      // A single compare catches NaN (comparisons with NaN are false) and
+      // +/-Inf alongside genuine runaway magnitudes.
+      if (!(std::abs(v) <= limit)) return false;
+    }
+    return true;
+  };
+  return field_ok(state.acid) && field_ok(state.base) &&
+         field_ok(state.inhibitor);
+}
+
 void PebSolver::step(PebState& state) const {
   SDMPEB_SPAN("peb.step");
   if (obs::trace_enabled()) {
@@ -255,10 +286,51 @@ void PebSolver::step(PebState& state) const {
     steps.add(1);
   }
   const double dt = params_.dt_s;
-  reaction_half_step(state, 0.5 * dt);
-  diffusion_step(state, dt);
-  reaction_half_step(state, 0.5 * dt);
-  state.time_s += dt;
+  if (!params_.divergence_guard) {
+    advance(state, dt);
+    state.time_s += dt;
+    return;
+  }
+
+  const PebState snapshot = state;
+  advance(state, dt);
+  if (state_ok(state)) {
+    state.time_s += dt;
+    return;
+  }
+
+  // The interval diverged: rewind and re-integrate it with halved dt,
+  // doubling the substep count until the guard passes or the budget runs
+  // out. Strang splitting is stable at any dt here, so in practice this
+  // only triggers on injected faults or pathological parameter sets — but
+  // when it does, retrying beats silently propagating NaNs into every
+  // downstream consumer.
+  for (std::int64_t halving = 1; halving <= params_.divergence_max_halvings;
+       ++halving) {
+    obs::counter("peb.divergence_retries").add(1);
+    state = snapshot;
+    const auto substeps = std::int64_t{1} << halving;
+    const double dt_sub = dt / static_cast<double>(substeps);
+    bool ok = true;
+    for (std::int64_t i = 0; i < substeps && ok; ++i) {
+      advance(state, dt_sub);
+      ok = state_ok(state);
+    }
+    if (ok) {
+      SDMPEB_LOG(obs::LogLevel::kWarn)
+          << "PEB interval at t=" << state.time_s << "s diverged; recovered "
+          << "with dt/" << substeps;
+      state.time_s += dt;
+      return;
+    }
+  }
+  state = snapshot;
+  throw Error(
+      "PEB solver diverged (non-finite or runaway field) at t=" +
+      std::to_string(state.time_s) + "s and did not recover after " +
+      std::to_string(params_.divergence_max_halvings) +
+      " dt-halvings; check PebParams (dt_s, diffusion lengths, reaction "
+      "coefficients) for an unstable combination");
 }
 
 PebState PebSolver::run(const Grid3& acid0) const {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "nn/layers.hpp"
 #include "nn/optim.hpp"
@@ -130,7 +131,7 @@ TEST(Adam, ConvergesOnQuadratic) {
     auto loss =
         nnops::sum(nnops::square(nnops::sub(w, constant(target_t))));
     backward(loss);
-    adam.step();
+    ASSERT_TRUE(adam.step());
   }
   for (std::int64_t i = 0; i < 4; ++i)
     EXPECT_NEAR(w->value()[i], target_t[i], 1e-2);
@@ -143,9 +144,46 @@ TEST(Adam, GradClipLimitsStepOnHugeGradients) {
   opt.grad_clip_norm = 1.0f;
   Adam adam({w}, opt);
   w->grad()[0] = 1e6f;  // absurd gradient
-  adam.step();
+  ASSERT_TRUE(adam.step());
   // Clipped: |update| <= lr (Adam's first step is ~lr * sign).
   EXPECT_LE(std::abs(w->value()[0]), 0.11f);
+}
+
+TEST(Adam, RejectsNonFiniteGradientsWithoutTouchingState) {
+  // Regression: a NaN gradient used to make the global norm NaN, which
+  // silently disabled the clip (NaN compare is false) and applied the
+  // poisoned update at full scale. The norm walk is now non-finite-aware
+  // and the step is rejected outright.
+  auto w = make_value(Tensor(Shape{2}, 1.0f), true);
+  Adam::Options opt;
+  opt.lr = 0.1f;
+  opt.grad_clip_norm = 1.0f;
+  Adam adam({w}, opt);
+  w->grad()[0] = std::numeric_limits<float>::quiet_NaN();
+  w->grad()[1] = 1.0f;
+  EXPECT_FALSE(adam.step());
+  EXPECT_FALSE(adam.last_grad_finite());
+  EXPECT_EQ(adam.step_count(), 0);
+  EXPECT_FLOAT_EQ(w->value()[0], 1.0f);  // weights untouched
+  EXPECT_FLOAT_EQ(w->value()[1], 1.0f);
+  for (const auto& m : adam.first_moments())
+    EXPECT_FLOAT_EQ(m.abs_max(), 0.0f);  // moments untouched
+
+  // An Inf gradient is rejected the same way, including with clipping off.
+  Adam no_clip({w}, Adam::Options{});
+  w->zero_grad();
+  w->grad()[0] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(no_clip.step());
+  EXPECT_FALSE(no_clip.last_grad_finite());
+
+  // The optimiser recovers once the gradients are clean again.
+  w->zero_grad();
+  w->grad()[0] = 1.0f;
+  w->grad()[1] = 1.0f;
+  EXPECT_TRUE(adam.step());
+  EXPECT_TRUE(adam.last_grad_finite());
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_LT(w->value()[0], 1.0f);
 }
 
 TEST(Adam, WeightDecayShrinksWeights) {
@@ -157,7 +195,7 @@ TEST(Adam, WeightDecayShrinksWeights) {
   for (int i = 0; i < 50; ++i) {
     w->zero_grad();
     w->grad()[0] = 0.0f;  // no data gradient: decay only
-    adam.step();
+    ASSERT_TRUE(adam.step());
   }
   EXPECT_LT(w->value()[0], 1.0f);
 }

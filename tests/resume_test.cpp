@@ -1,0 +1,178 @@
+// Resume invariant (ISSUE 5 / DESIGN.md §10): training interrupted at an
+// arbitrary optimizer-step boundary and resumed from its TrainState
+// checkpoint must produce bitwise-identical parameters, optimizer state and
+// remaining loss trajectory vs the uninterrupted run.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "core/sdm_peb_model.hpp"
+#include "core/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace sdmpeb {
+namespace {
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sdmpeb_resume_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+std::vector<core::TrainSample> make_data(std::int64_t count) {
+  // Deterministic synthetic dataset: the label is an affine map of the
+  // acid volume, cheap enough for several epochs per test.
+  Rng rng(42);
+  std::vector<core::TrainSample> data;
+  for (std::int64_t i = 0; i < count; ++i) {
+    Tensor acid = Tensor::uniform(Shape{2, 8, 8}, rng, 0.0f, 0.9f);
+    Tensor label = acid.map([](float v) { return 1.5f * v - 0.25f; });
+    data.push_back({acid, label});
+  }
+  return data;
+}
+
+core::TrainConfig base_config() {
+  core::TrainConfig config;
+  config.epochs = 3;
+  config.accumulation = 2;
+  config.lr0 = 1e-2f;
+  config.grad_clip_norm = 1.0f;
+  return config;
+}
+
+void expect_bitwise_equal_params(const nn::Module& a, const nn::Module& b) {
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value().numel(), pb[i]->value().numel());
+    for (std::int64_t j = 0; j < pa[i]->value().numel(); ++j) {
+      // Bitwise, not approximate: memcmp the raw floats.
+      const float va = pa[i]->value()[j];
+      const float vb = pb[i]->value()[j];
+      ASSERT_EQ(std::memcmp(&va, &vb, sizeof(float)), 0)
+          << "param " << i << " elem " << j << ": " << va << " vs " << vb;
+    }
+  }
+}
+
+/// Interrupt after `kill_at_steps` optimizer steps, resume, and compare
+/// against the uninterrupted run.
+void check_kill_and_resume(std::int64_t kill_at_steps,
+                           const std::string& ckpt) {
+  const auto data = make_data(5);
+
+  // Reference: uninterrupted run.
+  Rng ref_model_rng(7);
+  core::SdmPebModel reference(core::SdmPebConfig::tiny(), ref_model_rng);
+  std::vector<double> ref_losses;
+  auto ref_config = base_config();
+  ref_config.epoch_losses = &ref_losses;
+  Rng ref_rng(11);
+  const double ref_final =
+      core::train_model(reference, data, ref_config, ref_rng);
+
+  // Interrupted run: same seeds, stop + checkpoint after kill_at_steps.
+  Rng model_rng(7);
+  core::SdmPebModel model(core::SdmPebConfig::tiny(), model_rng);
+  auto part1 = base_config();
+  part1.checkpoint_path = ckpt;
+  part1.max_steps = kill_at_steps;
+  bool interrupted = false;
+  part1.interrupted = &interrupted;
+  Rng rng1(11);
+  core::train_model(model, data, part1, rng1);
+  ASSERT_TRUE(interrupted) << "kill_at_steps=" << kill_at_steps
+                           << " did not interrupt the run";
+
+  // Resume into a fresh model instance (different init seed on purpose —
+  // everything must come from the checkpoint).
+  Rng other_rng(12345);
+  core::SdmPebModel resumed(core::SdmPebConfig::tiny(), other_rng);
+  std::vector<double> resumed_losses;
+  auto part2 = base_config();
+  part2.resume_from = ckpt;
+  part2.epoch_losses = &resumed_losses;
+  bool interrupted2 = true;
+  part2.interrupted = &interrupted2;
+  Rng rng2(999);  // overwritten by the checkpointed RNG state
+  const double resumed_final =
+      core::train_model(resumed, data, part2, rng2);
+
+  EXPECT_FALSE(interrupted2);
+  expect_bitwise_equal_params(reference, resumed);
+  // Loss trajectory: every epoch mean must match to the last bit.
+  ASSERT_EQ(ref_losses.size(), resumed_losses.size());
+  for (std::size_t e = 0; e < ref_losses.size(); ++e)
+    EXPECT_EQ(ref_losses[e], resumed_losses[e]) << "epoch " << e;
+  EXPECT_EQ(ref_final, resumed_final);
+}
+
+TEST_F(ResumeTest, KillMidEpochResumesBitwiseIdentical) {
+  // 5 samples, accumulation 2 -> 3 steps per epoch; step 2 is mid-epoch.
+  check_kill_and_resume(2, path("mid_epoch.state"));
+}
+
+TEST_F(ResumeTest, KillAtEpochBoundaryResumesBitwiseIdentical) {
+  check_kill_and_resume(3, path("epoch_boundary.state"));
+}
+
+TEST_F(ResumeTest, KillLateResumesBitwiseIdentical) {
+  check_kill_and_resume(7, path("late.state"));
+}
+
+TEST_F(ResumeTest, PeriodicCheckpointsAreLoadableAndExact) {
+  const auto data = make_data(4);
+  Rng model_rng(3);
+  core::SdmPebModel model(core::SdmPebConfig::tiny(), model_rng);
+  auto config = base_config();
+  config.epochs = 2;
+  config.checkpoint_path = path("periodic.state");
+  config.checkpoint_every_steps = 1;  // every step boundary
+  Rng rng(5);
+  core::train_model(model, data, config, rng);
+
+  // The last periodic checkpoint must load cleanly into a fresh model.
+  Rng other_rng(77);
+  core::SdmPebModel loaded(core::SdmPebConfig::tiny(), other_rng);
+  nn::Adam::Options opt;
+  opt.lr = config.lr0;
+  nn::Adam optimizer(loaded.parameters(), opt);
+  const auto state =
+      nn::load_train_state(path("periodic.state"), loaded, optimizer);
+  EXPECT_GE(state.epoch, 1);
+  EXPECT_GT(optimizer.step_count(), 0);
+}
+
+TEST_F(ResumeTest, ResumeRejectsDatasetSizeMismatch) {
+  const auto data = make_data(5);
+  Rng model_rng(7);
+  core::SdmPebModel model(core::SdmPebConfig::tiny(), model_rng);
+  auto part1 = base_config();
+  part1.checkpoint_path = path("mismatch.state");
+  part1.max_steps = 2;  // mid-epoch: checkpoint carries the shuffle order
+  Rng rng1(11);
+  core::train_model(model, data, part1, rng1);
+
+  const auto smaller = make_data(3);
+  auto part2 = base_config();
+  part2.resume_from = path("mismatch.state");
+  Rng rng2(11);
+  EXPECT_THROW(core::train_model(model, smaller, part2, rng2), Error);
+}
+
+}  // namespace
+}  // namespace sdmpeb

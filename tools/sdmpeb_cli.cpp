@@ -11,8 +11,10 @@
 //
 // All runs are deterministic for a given --seed.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -34,6 +36,20 @@
 using namespace sdmpeb;
 
 namespace {
+
+/// Graceful-shutdown flag: SIGINT/SIGTERM set it (async-signal-safe store),
+/// the trainer polls it at optimizer-step boundaries, writes a final
+/// checkpoint and returns cleanly.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void handle_shutdown_signal(int) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+}
 
 struct CliArgs {
   std::string command;
@@ -115,6 +131,7 @@ int cmd_train(const CliArgs& args) {
   const auto ckpt = args.get("out", model_name + ".ckpt");
   const auto dataset = eval::build_dataset(dataset_config(args));
 
+  install_signal_handlers();
   Rng model_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 1);
   auto model = make_model(model_name, model_rng);
   core::TrainConfig train;
@@ -122,9 +139,24 @@ int cmd_train(const CliArgs& args) {
   train.accumulation = args.get_int("accumulation", 1);
   train.lr0 = 1e-3f;
   train.verbose = true;
+  // Fault tolerance: TrainState checkpoints next to the weight checkpoint,
+  // written every --ckpt-every steps and on SIGINT/SIGTERM.
+  train.checkpoint_path = args.get("state", ckpt + ".state");
+  train.checkpoint_every_steps = args.get_int("ckpt-every", 0);
+  train.resume_from = args.get("resume", "");
+  train.stop_flag = &g_stop_requested;
+  bool interrupted = false;
+  train.interrupted = &interrupted;
   Rng train_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 2);
   const double loss = core::train_model(
       *model, eval::to_train_samples(dataset.train), train, train_rng);
+  if (interrupted) {
+    std::printf(
+        "interrupted: training state saved to %s\n"
+        "resume with: sdmpeb_cli train --resume %s (same --seed/--clips)\n",
+        train.checkpoint_path.c_str(), train.checkpoint_path.c_str());
+    return 0;
+  }
   nn::save_parameters(*model, ckpt);
   std::printf("trained %s (final loss %.4f), checkpoint: %s\n",
               model->name().c_str(), loss, ckpt.c_str());
@@ -155,6 +187,13 @@ void print_usage() {
       "  simulate: --out DIR\n"
       "  train:    --model sdm|deepcnn|tempo|fno|deepeb --epochs E "
       "--out CKPT\n"
+      "            --ckpt-every N (train-state checkpoint every N steps)\n"
+      "            --state PATH   (train-state path, default <out>.state)\n"
+      "            --resume PATH  (continue from a train-state checkpoint;\n"
+      "                            bitwise identical to the unbroken run)\n"
+      "            SIGINT/SIGTERM checkpoint and exit cleanly\n"
+      "            SDMPEB_FAULTS=site:prob,... deterministic fault "
+      "injection\n"
       "  evaluate: --model M --ckpt CKPT\n");
 }
 
