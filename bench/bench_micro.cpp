@@ -17,6 +17,7 @@
 #include "common/gemm.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "common/trace_export.hpp"
 #include "core/attention.hpp"
@@ -313,7 +314,12 @@ void run_thread_scaling_sweep() {
     std::printf("%s%d", i ? ", " : "", widths[i]);
   std::printf("} (hardware_concurrency = %d)\n", hw);
 
-  CsvWriter csv({"kernel", "threads", "ms", "speedup", "bit_identical"});
+  // Backend + CPU feature columns keep scaling rows comparable across
+  // machines and across SDMPEB_BACKEND matrix runs.
+  const std::string backend = simd::isa_name(simd::active());
+  const std::string features = simd::cpu_feature_string();
+  CsvWriter csv({"kernel", "threads", "ms", "speedup", "bit_identical",
+                 "backend", "cpu_features"});
   for (auto& kernel : sweep_kernels()) {
     double serial_ms = 0.0;
     std::vector<float> serial_fp;
@@ -338,7 +344,7 @@ void run_thread_scaling_sweep() {
       csv.add_row({kernel.name, std::to_string(threads),
                    std::to_string(ms),
                    std::to_string(serial_ms > 0.0 ? serial_ms / ms : 1.0),
-                   identical ? "yes" : "no"});
+                   identical ? "yes" : "no", backend, features});
       std::printf("[bench] %-16s threads=%-2d %8.2f ms  speedup %.2fx\n",
                   kernel.name.c_str(), threads, ms,
                   serial_ms > 0.0 ? serial_ms / ms : 1.0);
@@ -351,11 +357,12 @@ void run_thread_scaling_sweep() {
 }
 
 // --- GEMM / conv roofline ----------------------------------------------------
-// Single-thread GF/s for the packed cache-blocked GEMM against the naive
-// reference across square and conv-lowered shapes, plus the dense conv ops
-// under both backends (im2col+GEMM vs the retired direct kernels). Written
-// to bench_out/gemm_scaling.csv; the headline acceptance number is the
-// packed/naive ratio at 256^3.
+// Single-thread GF/s across three rungs: the naive reference, the packed
+// cache-blocked core pinned to the scalar microkernels, and the packed core
+// under the dispatched SIMD backend (AVX2 where the CPU has it). Written to
+// bench_out/gemm_scaling.csv with backend + CPU feature columns; the
+// headline acceptance numbers are the packed/naive ratio and the
+// simd/packed-scalar ratio at 256^3.
 
 double time_ms_of(const std::function<void()>& fn, int repeats) {
   fn();  // warm-up (also sizes the workspace arenas)
@@ -366,25 +373,44 @@ double time_ms_of(const std::function<void()>& fn, int repeats) {
 
 void run_gemm_roofline() {
   parallel::set_thread_count(1);
+  const simd::Isa best = simd::active();
+  const std::string backend = simd::isa_name(best);
+  const std::string features = simd::cpu_feature_string();
   CsvWriter csv({"case", "m", "n", "k", "flops", "naive_ms", "packed_ms",
-                 "naive_gflops", "packed_gflops", "speedup"});
-  std::printf("[bench] GEMM/conv roofline (single thread)\n");
+                 "simd_ms", "naive_gflops", "packed_gflops", "simd_gflops",
+                 "speedup", "simd_speedup", "backend", "cpu_features"});
+  std::printf("[bench] GEMM/conv roofline (single thread, backend %s)\n",
+              backend.c_str());
 
-  const auto report = [&csv](const std::string& name, std::int64_t m,
-                             std::int64_t n, std::int64_t k, double flops,
-                             double naive_ms, double packed_ms) {
+  const auto report = [&](const std::string& name, std::int64_t m,
+                          std::int64_t n, std::int64_t k, double flops,
+                          double naive_ms, double packed_ms, double simd_ms) {
     const double naive_gf = flops / (naive_ms * 1e6);
     const double packed_gf = flops / (packed_ms * 1e6);
+    const double simd_gf = flops / (simd_ms * 1e6);
     csv.add_row({name, std::to_string(m), std::to_string(n),
                  std::to_string(k), std::to_string(flops),
                  std::to_string(naive_ms), std::to_string(packed_ms),
-                 std::to_string(naive_gf), std::to_string(packed_gf),
-                 std::to_string(naive_ms / packed_ms)});
+                 std::to_string(simd_ms), std::to_string(naive_gf),
+                 std::to_string(packed_gf), std::to_string(simd_gf),
+                 std::to_string(naive_ms / packed_ms),
+                 std::to_string(packed_ms / simd_ms), backend, features});
     std::printf(
-        "[bench] %-24s naive %7.2f ms (%5.2f GF/s)  packed %7.2f ms "
-        "(%5.2f GF/s)  %.2fx\n",
+        "[bench] %-24s naive %7.2f ms (%5.2f GF/s)  scalar %7.2f ms "
+        "(%5.2f GF/s)  %s %7.2f ms (%5.2f GF/s)  simd %.2fx\n",
         name.c_str(), naive_ms, naive_gf, packed_ms, packed_gf,
-        naive_ms / packed_ms);
+        backend.c_str(), simd_ms, simd_gf, packed_ms / simd_ms);
+  };
+
+  // Time `fn` once with the scalar kernels pinned and once under the
+  // dispatched backend; the pair is the simd speedup for that case.
+  const auto scalar_vs_simd = [&best](const std::function<void()>& fn,
+                                      int repeats) {
+    simd::set_active(simd::Isa::kScalar);
+    const double scalar_ms = time_ms_of(fn, repeats);
+    simd::set_active(best);
+    const double simd_ms = time_ms_of(fn, repeats);
+    return std::pair<double, double>{scalar_ms, simd_ms};
   };
 
   struct GemmShape {
@@ -414,14 +440,14 @@ void run_gemm_roofline() {
           benchmark::DoNotOptimize(c.data());
         },
         s.repeats);
-    const double packed_ms = time_ms_of(
+    const auto [packed_ms, simd_ms] = scalar_vs_simd(
         [&] {
           gemm::gemm_packed(s.m, s.n, s.k, a.data(), s.k, false, b.data(),
                             s.n, false, c.data(), s.n, 0.0f);
           benchmark::DoNotOptimize(c.data());
         },
         s.repeats);
-    report(s.name, s.m, s.n, s.k, flops, naive_ms, packed_ms);
+    report(s.name, s.m, s.n, s.k, flops, naive_ms, packed_ms, simd_ms);
   }
 
   // Dense conv ops end to end: backend() routes the forward to im2col+GEMM
@@ -429,10 +455,11 @@ void run_gemm_roofline() {
   const auto conv_case = [&](const std::string& name, double flops,
                              int repeats, const std::function<void()>& fwd) {
     gemm::set_backend(gemm::Backend::kNaive);
+    simd::set_active(simd::Isa::kScalar);
     const double naive_ms = time_ms_of(fwd, repeats);
     gemm::set_backend(gemm::Backend::kPacked);
-    const double packed_ms = time_ms_of(fwd, repeats);
-    report(name, 0, 0, 0, flops, naive_ms, packed_ms);
+    const auto [packed_ms, simd_ms] = scalar_vs_simd(fwd, repeats);
+    report(name, 0, 0, 0, flops, naive_ms, packed_ms, simd_ms);
   };
   {
     auto x = random_value(Shape{8, 16, 32, 32}, 13);
@@ -462,6 +489,56 @@ void run_gemm_roofline() {
                 benchmark::DoNotOptimize(y->value().raw());
               });
   }
+
+  // Kernels with no naive-GEMM rung: the depthwise convs and one rigorous
+  // ADI-split PEB step. naive_ms repeats the scalar time so the speedup
+  // column reads 1.0 and only simd_speedup is meaningful.
+  {
+    auto x = random_value(Shape{8, 16, 32, 32}, 27);
+    auto w = random_value(Shape{8, 3, 3, 3}, 28);
+    auto b = random_value(Shape{8}, 29);
+    const auto [scalar_ms, simd_ms] = scalar_vs_simd(
+        [&] {
+          auto y = nnops::dwconv3d(x, w, b, 1);
+          benchmark::DoNotOptimize(y->value().raw());
+        },
+        10);
+    report("dwconv3d_8x16x32x32", 0, 0, 0, 2.0 * 8 * 16 * 32 * 32 * 27,
+           scalar_ms, scalar_ms, simd_ms);
+  }
+  {
+    auto x = random_value(Shape{4096, 32}, 30);
+    auto w = random_value(Shape{32, 5}, 31);
+    auto b = random_value(Shape{32}, 32);
+    const auto [scalar_ms, simd_ms] = scalar_vs_simd(
+        [&] {
+          auto y = nnops::dwconv1d_seq(x, w, b);
+          benchmark::DoNotOptimize(y->value().raw());
+        },
+        20);
+    report("dwconv1d_4096x32", 0, 0, 0, 2.0 * 4096 * 32 * 5, scalar_ms,
+           scalar_ms, simd_ms);
+  }
+  {
+    peb::PebParams params;
+    const peb::PebSolver solver(params);
+    Rng rng(19);
+    Grid3 acid0(16, 64, 64);
+    for (auto& v : acid0.data()) v = rng.uniform(0.0, 0.9);
+    auto state = solver.initial_state(acid0);
+    const auto [scalar_ms, simd_ms] = scalar_vs_simd(
+        [&] {
+          solver.step(state);
+          benchmark::DoNotOptimize(state.acid.data().data());
+        },
+        5);
+    // Rough flop count: 3 LOD sweeps x 3 species-ish fields x ~8 flops per
+    // grid element per sweep — indicative only, the row exists for the ms
+    // trend and the simd_speedup column.
+    report("peb_step_adi_64", 0, 0, 0, 3.0 * 3.0 * 8.0 * 16 * 64 * 64,
+           scalar_ms, scalar_ms, simd_ms);
+  }
+  simd::set_active(best);
 
   sdmpeb::bench::ensure_output_dir();
   const std::string path = "bench_out/gemm_scaling.csv";

@@ -9,7 +9,7 @@ namespace sdmpeb {
 
 namespace {
 
-constexpr std::size_t kAlign = 64;
+constexpr std::size_t kAlign = WorkspaceArena::kAlignment;
 constexpr std::size_t kMinBlockBytes = std::size_t{1} << 18;  // 256 KiB
 
 std::atomic<std::uint64_t> g_heap_blocks{0};

@@ -23,6 +23,13 @@ namespace sdmpeb {
 ///     allocation (that is a plain shared buffer, not arena traffic).
 class WorkspaceArena {
  public:
+  /// Guaranteed alignment of every pointer returned by floats()/doubles():
+  /// backing blocks are allocated on this boundary and every bump size is
+  /// rounded up to a multiple of it, so SIMD kernels may issue 64-byte
+  /// (full cache line / AVX-512-width) aligned accesses on arena spans.
+  /// Pinned by the ArenaAlignment test.
+  static constexpr std::size_t kAlignment = 64;
+
   /// RAII watermark: restores the bump position on destruction, releasing
   /// every allocation made since construction without freeing memory.
   class Scope {

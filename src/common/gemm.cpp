@@ -1,7 +1,12 @@
 // Packed cache-blocked GEMM core. This translation unit is compiled with
 // -ffp-contract=off (see src/common/CMakeLists.txt): every product is
-// rounded before it is added, in both implementations, which is what makes
-// the packed kernel bitwise-reproducible against the naive reference.
+// rounded before it is added, in both scalar implementations, which is what
+// makes the scalar packed kernel bitwise-reproducible against the naive
+// reference. When the AVX2 kernel backend is active (common/simd.hpp), the
+// driver below swaps the 6x8 scalar microtile for the 6x16 FMA tile in
+// simd_avx2.cpp and widens the B panels to match; that backend trades the
+// bitwise-vs-naive property for throughput and is tolerance-checked instead
+// (DESIGN.md §11).
 
 #include "common/gemm.hpp"
 
@@ -13,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define SDMPEB_GEMM_RESTRICT __restrict__
@@ -75,24 +81,27 @@ void pack_a(const float* a, std::int64_t lda, bool trans_a, std::int64_t i0,
   }
 }
 
-/// Pack k [p0, p0 + kb) x cols [j0, j0 + nb) of op(B) into kNr-column
-/// panels: panel jr starts at bp + jr * kb, kNr consecutive column values
-/// per k step, zero-padded past nb.
+/// Pack k [p0, p0 + kb) x cols [j0, j0 + nb) of op(B) into NR-column
+/// panels: panel jr starts at bp + jr * kb, NR consecutive column values
+/// per k step, zero-padded past nb. NR is the microtile width of the active
+/// kernel backend: kNr (8) for the scalar tile, simd::kNrAvx2 (16) for the
+/// AVX2 tile.
+template <std::int64_t NR>
 void pack_b(const float* b, std::int64_t ldb, bool trans_b, std::int64_t p0,
             std::int64_t kb, std::int64_t j0, std::int64_t nb, float* bp) {
-  for (std::int64_t jr = 0; jr < nb; jr += kNr) {
-    const auto cols = std::min(kNr, nb - jr);
+  for (std::int64_t jr = 0; jr < nb; jr += NR) {
+    const auto cols = std::min(NR, nb - jr);
     float* dst = bp + jr * kb;
     if (trans_b) {
       for (std::int64_t kk = 0; kk < kb; ++kk)
-        for (std::int64_t col = 0; col < kNr; ++col)
-          dst[kk * kNr + col] =
+        for (std::int64_t col = 0; col < NR; ++col)
+          dst[kk * NR + col] =
               col < cols ? b[(j0 + jr + col) * ldb + p0 + kk] : 0.0f;
     } else {
       for (std::int64_t kk = 0; kk < kb; ++kk) {
         const float* src = b + (p0 + kk) * ldb + j0 + jr;
-        for (std::int64_t col = 0; col < kNr; ++col)
-          dst[kk * kNr + col] = col < cols ? src[col] : 0.0f;
+        for (std::int64_t col = 0; col < NR; ++col)
+          dst[kk * NR + col] = col < cols ? src[col] : 0.0f;
       }
     }
   }
@@ -145,6 +154,23 @@ void compute_tile(std::int64_t kb, const float* ap, const float* bp, float* c,
   }
 }
 
+/// The microtile set the packed driver runs: B-panel width, matching
+/// packer, and C-tile kernel. Both sets share pack_a (kMr = 6 rows).
+struct KernelSet {
+  std::int64_t nr;
+  void (*pack_b)(const float*, std::int64_t, bool, std::int64_t, std::int64_t,
+                 std::int64_t, std::int64_t, float*);
+  simd::GemmTileFn tile;
+};
+
+static_assert(kMr == 6, "both microtiles hardcode 6 A-panel rows");
+
+KernelSet active_kernels() {
+  if (const simd::GemmTileFn tile16 = simd::gemm_tile_16())
+    return {simd::kNrAvx2, &pack_b<simd::kNrAvx2>, tile16};
+  return {kNr, &pack_b<kNr>, &compute_tile};
+}
+
 }  // namespace
 
 Backend backend() { return backend_slot(); }
@@ -195,10 +221,15 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
     return;
   }
 
+  // One branch per call picks the microtile set; the blocking and the
+  // row-block parallel split are backend-independent, so the per-element
+  // accumulation order stays fixed for any SDMPEB_THREADS in both backends.
+  const KernelSet ks = active_kernels();
+
   auto& caller_arena = WorkspaceArena::tls();
   WorkspaceArena::Scope scope(caller_arena);
   const auto nc_padded =
-      std::min<std::int64_t>(kNc, (n + kNr - 1) / kNr * kNr);
+      std::min<std::int64_t>(kNc, (n + ks.nr - 1) / ks.nr * ks.nr);
   float* bp = caller_arena.floats(std::min(kKc, k) * nc_padded);
   const auto mc_blocks = (m + kMc - 1) / kMc;
 
@@ -209,7 +240,7 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
       const bool first_panel = pc == 0;
       // The B panel is packed once per (jc, pc) and shared read-only by all
       // row-block tasks; the parallel_for boundary publishes it.
-      pack_b(b, ldb, trans_b, pc, kb, jc, nb, bp);
+      ks.pack_b(b, ldb, trans_b, pc, kb, jc, nb, bp);
       // Split over kMc row blocks only — each C element belongs to exactly
       // one task, so the per-element accumulation order is thread-count
       // independent.
@@ -222,12 +253,12 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
               const auto i0 = blk * kMc;
               const auto mb = std::min(kMc, m - i0);
               pack_a(a, lda, trans_a, i0, mb, pc, kb, ap);
-              for (std::int64_t jr = 0; jr < nb; jr += kNr)
+              for (std::int64_t jr = 0; jr < nb; jr += ks.nr)
                 for (std::int64_t ir = 0; ir < mb; ir += kMr)
-                  compute_tile(kb, ap + ir * kb, bp + jr * kb,
-                               c + (i0 + ir) * ldc + jc + jr, ldc,
-                               std::min(kMr, mb - ir), std::min(kNr, nb - jr),
-                               beta, first_panel);
+                  ks.tile(kb, ap + ir * kb, bp + jr * kb,
+                          c + (i0 + ir) * ldc + jc + jr, ldc,
+                          std::min(kMr, mb - ir), std::min(ks.nr, nb - jr),
+                          beta, first_panel);
             }
           });
     }
@@ -266,13 +297,25 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
   static obs::Counter& backend_naive = obs::counter("gemm.backend.naive");
   static obs::Histogram& call_gflops = obs::histogram(
       "gemm.call_gflops", {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  // Per-ISA throughput splits (the naive reference is always scalar code).
+  static obs::Histogram& call_gflops_scalar = obs::histogram(
+      "gemm.call_gflops.scalar", {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  static obs::Histogram& call_gflops_avx2 = obs::histogram(
+      "gemm.call_gflops.avx2",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
   calls.add(1);
   total_flops.add(flops);
   total_ns.add(dt_ns);
   (naive ? backend_naive : backend_packed).add(1);
-  if (dt_ns > 0 && flops > 0)
-    call_gflops.add(static_cast<double>(flops) /
-                    static_cast<double>(dt_ns));
+  if (dt_ns > 0 && flops > 0) {
+    const double gflops =
+        static_cast<double>(flops) / static_cast<double>(dt_ns);
+    call_gflops.add(gflops);
+    const simd::Isa isa =
+        naive ? simd::Isa::kScalar : simd::active();
+    (isa == simd::Isa::kAvx2 ? call_gflops_avx2 : call_gflops_scalar)
+        .add(gflops);
+  }
 }
 
 }  // namespace sdmpeb::gemm

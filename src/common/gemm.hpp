@@ -18,11 +18,19 @@ namespace sdmpeb::gemm {
 /// Exactness contract: for a given (shape, transposes, beta), both
 /// implementations accumulate every output element along k in ascending
 /// order through a single float accumulator chain, and this translation
-/// unit is compiled with -ffp-contract=off — so packed and naive results
-/// are BITWISE IDENTICAL, for any thread count. Ops lowered onto GEMM
-/// (im2col convolutions) inherit bit-identity between the two backends;
-/// only results compared against the retired direct conv kernels (which
-/// accumulated in double) carry a tolerance. See DESIGN.md §8.
+/// unit is compiled with -ffp-contract=off — so, under the scalar kernel
+/// backend, packed and naive results are BITWISE IDENTICAL, for any thread
+/// count. Ops lowered onto GEMM (im2col convolutions) inherit bit-identity
+/// between the two backends; only results compared against the retired
+/// direct conv kernels (which accumulated in double) carry a tolerance.
+/// See DESIGN.md §8.
+///
+/// Orthogonal to this choice, the packed driver dispatches its microtile on
+/// the runtime SIMD backend (common/simd.hpp): the AVX2 backend runs a
+/// 6x16 FMA tile that fuses each multiply-add, so packed-vs-naive becomes a
+/// tolerance comparison there, while results remain bitwise deterministic
+/// across thread counts within the backend. SDMPEB_BACKEND=scalar restores
+/// the full bitwise contract. See DESIGN.md §11.
 enum class Backend {
   kPacked,
   kNaive,

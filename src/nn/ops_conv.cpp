@@ -8,6 +8,7 @@
 #include "common/gemm.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -973,12 +974,16 @@ Value conv3d(const Value& x, const Value& w, const Value& bias,
 }
 
 // ===========================================================================
-// Depthwise convolutions: direct in both backends, with the bounds checks
-// hoisted out of the interior loops. The valid kernel ranges depend only on
-// the output coordinate, so the (a, i) limits move out of the pixel loops
-// and the width loop splits into edge / branch-free-interior / edge bands.
-// The visited (a, i, j) set and its ascending order are unchanged, so
-// results are bitwise identical to the pre-hoisting kernels.
+// Depthwise convolutions: direct in both gemm backends, with the bounds
+// checks hoisted out of the interior loops. The valid kernel ranges depend
+// only on the output coordinate, so the (a, i) limits move out of the pixel
+// loops and the width loop splits into edge / branch-free-interior / edge
+// bands. The interior bands run the dispatched simd kernels
+// (common/simd.hpp): the scalar backend keeps the historical
+// double-accumulating tap order bit for bit, the AVX2 backend computes 8
+// outputs (3-D conv) or 8 channels (1-D conv) per step in float FMA —
+// tolerance cross-backend, bitwise within a backend. Edge bands keep their
+// scalar bounds-checked loops in all backends.
 // ===========================================================================
 
 Value dwconv3d(const Value& x, const Value& w, const Value& bias,
@@ -1040,19 +1045,9 @@ Value dwconv3d(const Value& x, const Value& w, const Value& bias,
                 };
                 for (std::int64_t ow = 0; ow < ow_lo; ++ow)
                   orow[ow] = edge_sum(ow);
-                for (std::int64_t ow = ow_lo; ow < ow_hi; ++ow) {
-                  double acc = b;
-                  for (std::int64_t a = a_lo; a < a_hi; ++a)
-                    for (std::int64_t i = i_lo; i < i_hi; ++i) {
-                      const float* xrow =
-                          xch + ((od - pad + a) * hin + oh - pad + i) * win +
-                          ow - pad;
-                      const float* wrow = wch + (a * kh + i) * kw;
-                      for (std::int64_t j = 0; j < kw; ++j)
-                        acc += static_cast<double>(xrow[j]) * wrow[j];
-                    }
-                  orow[ow] = static_cast<float>(acc);
-                }
+                simd::dwconv3d_interior_row(orow, ow_lo, ow_hi, b, xch, wch,
+                                            od, oh, pad, a_lo, a_hi, i_lo,
+                                            i_hi, kh, kw, hin, win);
                 for (std::int64_t ow = ow_hi; ow < wout; ++ow)
                   orow[ow] = edge_sum(ow);
               }
@@ -1137,25 +1132,37 @@ Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
     const float* pb = bias ? bias->value().raw() : nullptr;
     float* po = out.raw();
     // The k bounds check only fires for rows within pad of either end;
-    // interior rows run the branch-free path.
+    // interior rows run the branch-free dispatched kernel.
     const auto l_lo = std::clamp<std::int64_t>(pad, 0, rows);
     const auto l_hi = std::clamp(rows - kernel + pad + 1, l_lo, rows);
+    // The AVX2 row kernel walks 8 channels per step, which wants the
+    // weights channel-contiguous per tap: pack the (cols x kernel) weights
+    // into a (kernel x cols) transpose once per forward, shared read-only
+    // by all row chunks (the parallel_for boundary publishes it).
+    auto& caller_arena = WorkspaceArena::tls();
+    WorkspaceArena::Scope wt_scope(caller_arena);
+    float* wt = nullptr;
+    if (simd::active() == simd::Isa::kAvx2) {
+      wt = caller_arena.floats(kernel * cols);
+      for (std::int64_t c = 0; c < cols; ++c)
+        for (std::int64_t k = 0; k < kernel; ++k)
+          wt[k * cols + c] = pw[c * kernel + k];
+    }
     parallel::parallel_for(0, rows, 64, [&](std::int64_t l0, std::int64_t l1) {
       for (std::int64_t l = l0; l < l1; ++l) {
         const bool interior = l >= l_lo && l < l_hi;
+        if (interior) {
+          simd::dwconv1d_interior_row(po + l * cols, px + (l - pad) * cols,
+                                      pw, wt, pb, cols, kernel);
+          continue;
+        }
         for (std::int64_t c = 0; c < cols; ++c) {
           double acc = pb ? pb[c] : 0.0f;
           const float* wrow = pw + c * kernel;
-          if (interior) {
-            const float* xcol = px + (l - pad) * cols + c;
-            for (std::int64_t k = 0; k < kernel; ++k)
-              acc += static_cast<double>(xcol[k * cols]) * wrow[k];
-          } else {
-            for (std::int64_t k = 0; k < kernel; ++k) {
-              const auto ll = l - pad + k;
-              if (ll < 0 || ll >= rows) continue;
-              acc += static_cast<double>(px[ll * cols + c]) * wrow[k];
-            }
+          for (std::int64_t k = 0; k < kernel; ++k) {
+            const auto ll = l - pad + k;
+            if (ll < 0 || ll >= rows) continue;
+            acc += static_cast<double>(px[ll * cols + c]) * wrow[k];
           }
           po[l * cols + c] = static_cast<float>(acc);
         }

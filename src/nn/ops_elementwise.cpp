@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -77,8 +78,8 @@ Value mul(const Value& a, const Value& b) {
       const Tensor& bv = bc->value();
       parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
                              [&](std::int64_t i0, std::int64_t i1) {
-                               for (std::int64_t i = i0; i < i1; ++i)
-                                 ga[i] += g[i] * bv[i];
+                               simd::vmul_add(ga.raw() + i0, g.raw() + i0,
+                                              bv.raw() + i0, i1 - i0);
                              });
     }
     if (bc->requires_grad()) {
@@ -86,8 +87,8 @@ Value mul(const Value& a, const Value& b) {
       const Tensor& av = ac->value();
       parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
                              [&](std::int64_t i0, std::int64_t i1) {
-                               for (std::int64_t i = i0; i < i1; ++i)
-                                 gb[i] += g[i] * av[i];
+                               simd::vmul_add(gb.raw() + i0, g.raw() + i0,
+                                              av.raw() + i0, i1 - i0);
                              });
     }
   });
@@ -112,23 +113,42 @@ Value mul_scalar(const Value& a, float s) {
     const Tensor& g = self.grad();
     parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
                            [&](std::int64_t i0, std::int64_t i1) {
-                             for (std::int64_t i = i0; i < i1; ++i)
-                               ga[i] += g[i] * s;
+                             simd::vaxpy(ga.raw() + i0, g.raw() + i0, s,
+                                         i1 - i0);
                            });
   });
 }
 
 Value relu(const Value& x) {
-  return unary_op(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float in, float) { return in > 0.0f ? 1.0f : 0.0f; });
+  const Tensor& in = x->value();
+  Tensor out(in.shape());
+  parallel::parallel_for(0, out.numel(), parallel::kFlatGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           simd::vrelu(out.raw() + i0, in.raw() + i0,
+                                       i1 - i0);
+                         });
+  Value xc = x;
+  return detail::make_result(std::move(out), {x}, [xc](Node& self) {
+    if (!xc->requires_grad()) return;
+    Tensor& gx = xc->grad();
+    const Tensor& g = self.grad();
+    const Tensor& in = xc->value();
+    parallel::parallel_for(0, g.numel(), parallel::kFlatGrain,
+                           [&](std::int64_t i0, std::int64_t i1) {
+                             simd::vrelu_bwd(gx.raw() + i0, g.raw() + i0,
+                                             in.raw() + i0, i1 - i0);
+                           });
+  });
 }
 
 Value leaky_relu(const Value& x, float negative_slope) {
   const Tensor& in = x->value();
-  Tensor out = in.map([negative_slope](float v) {
-    return v > 0.0f ? v : negative_slope * v;
-  });
+  Tensor out(in.shape());
+  parallel::parallel_for(0, out.numel(), parallel::kFlatGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           simd::vleaky_relu(out.raw() + i0, in.raw() + i0,
+                                             negative_slope, i1 - i0);
+                         });
   Value xc = x;
   return detail::make_result(
       std::move(out), {x}, [xc, negative_slope](Node& self) {
@@ -139,8 +159,8 @@ Value leaky_relu(const Value& x, float negative_slope) {
         parallel::parallel_for(
             0, g.numel(), parallel::kFlatGrain,
             [&](std::int64_t i0, std::int64_t i1) {
-              for (std::int64_t i = i0; i < i1; ++i)
-                gx[i] += g[i] * (in[i] > 0.0f ? 1.0f : negative_slope);
+              simd::vleaky_relu_bwd(gx.raw() + i0, g.raw() + i0,
+                                    in.raw() + i0, negative_slope, i1 - i0);
             });
       });
 }

@@ -5,6 +5,7 @@
 #include "common/gemm.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "nn/op_helpers.hpp"
 #include "nn/ops.hpp"
 
@@ -198,27 +199,21 @@ Value layer_norm(const Value& x, const Value& gamma, const Value& beta,
     const Tensor& in = x->value();
     const Tensor& gv = gamma->value();
     const Tensor& bv = beta->value();
+    // Per-row stats + normalize through the dispatched simd kernels: the
+    // scalar backend reproduces the historical ascending double sums, the
+    // AVX2 backend accumulates in 4 double lanes — rows are independent
+    // either way, so the split over rows stays bitwise deterministic.
     parallel::parallel_for(
         0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
           for (std::int64_t r = r0; r < r1; ++r) {
-            double mean = 0.0;
-            for (std::int64_t c = 0; c < cols; ++c) mean += in.at(r, c);
-            mean /= static_cast<double>(cols);
-            double var = 0.0;
-            for (std::int64_t c = 0; c < cols; ++c) {
-              const double d = in.at(r, c) - mean;
-              var += d * d;
-            }
-            var /= static_cast<double>(cols);
-            const auto inv = static_cast<float>(
-                1.0 / std::sqrt(var + static_cast<double>(eps)));
+            const float* in_row = in.raw() + r * cols;
+            float mean = 0.0f;
+            float inv = 0.0f;
+            simd::layer_norm_stats(in_row, cols, eps, &mean, &inv);
             inv_sigma[static_cast<std::size_t>(r)] = inv;
-            for (std::int64_t c = 0; c < cols; ++c) {
-              const float xh =
-                  (in.at(r, c) - static_cast<float>(mean)) * inv;
-              x_hat.at(r, c) = xh;
-              out.at(r, c) = xh * gv[c] + bv[c];
-            }
+            simd::layer_norm_apply(out.raw() + r * cols,
+                                   x_hat.raw() + r * cols, in_row, gv.raw(),
+                                   bv.raw(), mean, inv, cols);
           }
         });
   }
@@ -242,26 +237,22 @@ Value layer_norm(const Value& x, const Value& gamma, const Value& beta,
         }
         if (!xc->requires_grad()) return;
         Tensor& gx = xc->grad();
+        const float* gammap = gc->value().raw();
         parallel::parallel_for(
             0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
               for (std::int64_t r = r0; r < r1; ++r) {
+                const float* g_row = g.raw() + r * cols;
+                const float* xhat_row = x_hat.raw() + r * cols;
                 double mean_gy = 0.0;
                 double mean_gy_xhat = 0.0;
-                for (std::int64_t c = 0; c < cols; ++c) {
-                  const double gy = static_cast<double>(g.at(r, c)) *
-                                    gc->value()[c];
-                  mean_gy += gy;
-                  mean_gy_xhat += gy * x_hat.at(r, c);
-                }
+                simd::layer_norm_bwd_sums(g_row, xhat_row, gammap, cols,
+                                          &mean_gy, &mean_gy_xhat);
                 mean_gy /= static_cast<double>(cols);
                 mean_gy_xhat /= static_cast<double>(cols);
-                const float inv = inv_sigma[static_cast<std::size_t>(r)];
-                for (std::int64_t c = 0; c < cols; ++c) {
-                  const double gy = static_cast<double>(g.at(r, c)) *
-                                    gc->value()[c];
-                  gx.at(r, c) += static_cast<float>(
-                      inv * (gy - mean_gy - x_hat.at(r, c) * mean_gy_xhat));
-                }
+                simd::layer_norm_bwd_apply(
+                    gx.raw() + r * cols, g_row, xhat_row, gammap,
+                    inv_sigma[static_cast<std::size_t>(r)], mean_gy,
+                    mean_gy_xhat, cols);
               }
             });
       });

@@ -140,33 +140,44 @@ void PebSolver::diffuse_axis(Grid3& field, int axis, double diff_coeff,
   };
   const std::int64_t stride =
       axis == 0 ? height * width : (axis == 1 ? width : 1);
+  // Base offset between adjacent lines, valid within one "run" (axis 1 line
+  // bases jump at every width boundary; axes 0 and 2 are uniform
+  // throughout). Lines inside a run batch into up-to-4-lane groups for the
+  // vectorized solver.
+  const std::int64_t lane_stride = axis == 2 ? width : 1;
+  const auto run_end = [&](std::int64_t line) -> std::int64_t {
+    return axis == 1 ? (line / width + 1) * width : lines;
+  };
+
+  // The bands are identical for every line: factor the Thomas elimination
+  // coefficients once per sweep (this also hoists the per-line pivot
+  // checks), leaving only the per-line rhs substitution passes.
+  TridiagFactors factors;
+  factors.factor(sub, diag, sup);
+  const double rhs0_add = axis == 0 && robin_h > 0.0 ? s * saturation : 0.0;
 
   auto data = field.data();
   // Every tridiagonal line is independent and writes only its own cells.
-  // Scratch (rhs/solution/elimination coefficients) is chunk-local and
-  // served by the worker's WorkspaceArena, so concurrent solves share no
-  // mutable state and steady-state sweeps never touch the allocator.
+  // Scratch is chunk-local and served by the worker's WorkspaceArena, so
+  // concurrent solves share no mutable state and steady-state sweeps never
+  // touch the allocator. Lane grouping depends only on the chunk bounds
+  // (fixed by the grain, never the thread count) and the run geometry, so
+  // each cell's op sequence is deterministic per backend.
   parallel::parallel_for(
       0, lines, 32, [&](std::int64_t l0, std::int64_t l1) {
         auto& arena = WorkspaceArena::tls();
         WorkspaceArena::Scope scope(arena);
         const auto count64 = static_cast<std::int64_t>(n);
-        std::span<double> rhs(arena.doubles(count64), n);
-        std::span<double> solution(arena.doubles(count64), n);
-        std::span<double> c_scratch(arena.doubles(count64), n);
-        std::span<double> d_scratch(arena.doubles(count64), n);
-        for (std::int64_t line = l0; line < l1; ++line) {
-          const auto base_index = line_base(line);
-          for (std::size_t i = 0; i < n; ++i)
-            rhs[i] = data[static_cast<std::size_t>(
-                base_index + static_cast<std::int64_t>(i) * stride)];
-          if (axis == 0 && robin_h > 0.0) rhs[0] += s * saturation;
-          TridiagSolver::solve(sub, diag, sup, rhs, solution, c_scratch,
-                               d_scratch);
-          for (std::size_t i = 0; i < n; ++i)
-            data[static_cast<std::size_t>(
-                base_index + static_cast<std::int64_t>(i) * stride)] =
-                std::max(solution[i], 0.0);
+        std::span<double> d_scratch(arena.doubles(4 * count64),
+                                    static_cast<std::size_t>(4 * count64));
+        std::int64_t line = l0;
+        while (line < l1) {
+          const auto limit = std::min(l1, run_end(line));
+          const int lanes =
+              static_cast<int>(std::min<std::int64_t>(4, limit - line));
+          adi_solve_lines(factors, count64, data.data() + line_base(line),
+                          stride, lane_stride, lanes, rhs0_add, d_scratch);
+          line += lanes;
         }
       });
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -48,5 +49,36 @@ class TridiagSolver {
  private:
   TridiagWorkspace workspace_;
 };
+
+/// Prefactored shared-band Thomas coefficients for batched ADI sweeps.
+/// Every line along one diffusion axis solves against the same tridiagonal
+/// matrix, so the elimination coefficients c[i] = sup[i] / denom[i] and the
+/// pivots denom[i] = diag[i] - sub[i] * c[i-1] depend only on the bands:
+/// factor() computes them once per sweep (validating every pivot), and the
+/// per-line work shrinks to the rhs forward/back substitution — which is
+/// also what lets the AVX2 backend run four lines per vector lane.
+struct TridiagFactors {
+  std::vector<double> c;      ///< upper-band elimination coefficients
+  std::vector<double> denom;  ///< forward-substitution pivots (denom[0] = diag[0])
+  std::vector<double> sub;    ///< subdiagonal copy (forward substitution)
+
+  void factor(std::span<const double> sub_band,
+              std::span<const double> diag_band,
+              std::span<const double> sup_band);
+};
+
+/// Solve `lanes` (1..4) independent ADI lines that share one prefactored
+/// band set, in place on the grid: lane l's element i lives at
+/// data[i * elem_stride + l * lane_stride]. rhs0_add is added to element 0
+/// of every lane (the Robin surface source); solutions are clamped at >= 0
+/// (concentrations; NaN propagates for the divergence guard) on writeback.
+/// d_scratch holds 4 * n doubles. Dispatches to the 4-lane AVX2 kernel when
+/// that backend is active and lanes == 4; the scalar path performs, per
+/// lane, the exact op sequence of TridiagSolver::solve. Deterministic: the
+/// per-element op order is fixed per backend regardless of lanes grouping.
+void adi_solve_lines(const TridiagFactors& factors, std::int64_t n,
+                     double* data, std::int64_t elem_stride,
+                     std::int64_t lane_stride, int lanes, double rhs0_add,
+                     std::span<double> d_scratch);
 
 }  // namespace sdmpeb::peb

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace sdmpeb {
 
@@ -43,18 +44,16 @@ void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 namespace {
 
-/// Flat-chunked elementwise combine; per-element writes are disjoint, so the
-/// result never depends on chunking or thread count.
-template <typename Fn>
+/// Flat-chunked elementwise combine through the dispatched simd kernels
+/// (bitwise identical across kernel backends — common/simd.hpp); per-element
+/// writes are disjoint, so the result never depends on chunking or thread
+/// count.
 void elementwise(std::vector<float>& dst, const std::vector<float>& src,
-                 const Fn& fn) {
+                 void (*kernel)(float*, const float*, std::int64_t)) {
   parallel::parallel_for(0, static_cast<std::int64_t>(dst.size()),
                          parallel::kFlatGrain,
                          [&](std::int64_t i0, std::int64_t i1) {
-                           for (std::int64_t i = i0; i < i1; ++i) {
-                             const auto u = static_cast<std::size_t>(i);
-                             fn(dst[u], src[u]);
-                           }
+                           kernel(dst.data() + i0, src.data() + i0, i1 - i0);
                          });
 }
 
@@ -62,24 +61,28 @@ void elementwise(std::vector<float>& dst, const std::vector<float>& src,
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   SDMPEB_CHECK(shape_ == other.shape_);
-  elementwise(data_, other.data_, [](float& a, float b) { a += b; });
+  elementwise(data_, other.data_, &simd::vadd);
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   SDMPEB_CHECK(shape_ == other.shape_);
-  elementwise(data_, other.data_, [](float& a, float b) { a -= b; });
+  elementwise(data_, other.data_, &simd::vsub);
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& other) {
   SDMPEB_CHECK(shape_ == other.shape_);
-  elementwise(data_, other.data_, [](float& a, float b) { a *= b; });
+  elementwise(data_, other.data_, &simd::vmul);
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) {
-  for (auto& v : data_) v *= scalar;
+  parallel::parallel_for(0, static_cast<std::int64_t>(data_.size()),
+                         parallel::kFlatGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           simd::vscale(data_.data() + i0, scalar, i1 - i0);
+                         });
   return *this;
 }
 

@@ -8,6 +8,7 @@
 #include "common/gemm.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "gradcheck.hpp"
 #include "nn/ops.hpp"
 
@@ -18,20 +19,28 @@ namespace nnops = nn::ops;
 using nn::Value;
 using sdmpeb::testing::expect_gradients_match;
 
-/// Restores thread count and GEMM backend after each test so ordering
-/// cannot leak state.
+/// Restores thread count, GEMM backend, and kernel backend after each test
+/// so ordering cannot leak state. The kernel backend is pinned to scalar for
+/// the duration of each test: the packed-vs-naive BITWISE contract holds per
+/// kernel backend (DESIGN.md §11), and naive always runs scalar, so these
+/// tests exercise the scalar microtile. Cross-backend agreement (tolerance)
+/// is covered by simd_test.
 class GemmTest : public ::testing::Test {
  protected:
   void SetUp() override {
     threads_ = parallel::thread_count();
     backend_ = gemm::backend();
+    isa_ = simd::active();
+    simd::set_active(simd::Isa::kScalar);
   }
   void TearDown() override {
     parallel::set_thread_count(threads_);
     gemm::set_backend(backend_);
+    simd::set_active(isa_);
   }
   int threads_ = 1;
   gemm::Backend backend_ = gemm::Backend::kPacked;
+  simd::Isa isa_ = simd::Isa::kScalar;
 };
 
 std::vector<float> random_vec(std::int64_t n, std::uint64_t seed) {
@@ -258,23 +267,25 @@ TEST_F(GemmTest, GradCheckConv3dIm2col) {
 // identical training steps must not allocate any new backing blocks.
 // ---------------------------------------------------------------------------
 
-/// Warm `step` until the global block count has been stable for 5
-/// consecutive runs (chunk-to-thread assignment is scheduling-dependent, so
-/// a worker's arena may stay cold for the first few repeats), then require
-/// 5 further runs to allocate nothing.
+/// Run `step` repeatedly and require the global heap-block count to stop
+/// growing. Chunk-to-thread assignment is scheduling-dependent, so a pool
+/// worker's arena may stay cold for an arbitrary number of repeats and then
+/// allocate its first block late — that is warm-up, not a leak. The leak
+/// signature is growth proportional to the iteration count, so instead of
+/// demanding a fixed quiet window we bound the number of growth EVENTS: a
+/// few per participating thread for warm-up, versus ~kSteps for a
+/// per-iteration leak.
 void expect_steady_state_no_alloc(const std::function<void()>& step) {
-  step();
+  constexpr int kSteps = 200;
   auto blocks = WorkspaceArena::total_heap_blocks();
-  int stable = 0;
-  for (int i = 0; i < 100 && stable < 5; ++i) {
+  int growth_events = 0;
+  for (int i = 0; i < kSteps; ++i) {
     step();
     const auto now = WorkspaceArena::total_heap_blocks();
-    stable = now == blocks ? stable + 1 : 0;
+    if (now != blocks) ++growth_events;
     blocks = now;
   }
-  ASSERT_EQ(stable, 5) << "arena never reached a steady state";
-  for (int i = 0; i < 5; ++i) step();
-  EXPECT_EQ(WorkspaceArena::total_heap_blocks(), blocks);
+  EXPECT_LE(growth_events, 8) << "arena keeps allocating in steady state";
 }
 
 TEST_F(GemmTest, ArenaStopsAllocatingAfterWarmup) {

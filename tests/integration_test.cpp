@@ -72,7 +72,11 @@ TEST(Integration, SurrogateIsMuchFasterThanRigorousSolver) {
   const auto result = eval::evaluate_model(model, dataset);
   // Even the untuned surrogate beats the rigorous solve by a wide margin —
   // the paper's headline efficiency claim (138x vs S-Litho) in miniature.
-  EXPECT_GT(dataset.mean_rigorous_seconds() / result.runtime_seconds, 5.0);
+  // The threshold leaves headroom under a parallel ctest run on a small
+  // host: the vectorized ADI sweeps (DESIGN.md §11) sped up the rigorous
+  // baseline, which legitimately shrinks this miniature-grid ratio; the
+  // full-scale factor is measured by bench_table2.
+  EXPECT_GT(dataset.mean_rigorous_seconds() / result.runtime_seconds, 3.0);
 }
 
 TEST(Integration, TrainAndEvaluateIsDeterministic) {

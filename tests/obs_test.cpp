@@ -74,42 +74,54 @@ TEST_F(ObsTest, SpansFromPoolThreadsCarryThreadIdentity) {
   const int previous = parallel::thread_count();
   parallel::set_thread_count(4);
   obs::set_thread_name("obs-test-main");
-  obs::set_trace_enabled(true);
-  std::atomic<int> chunks{0};
-  parallel::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
-    SDMPEB_SPAN("test.pool_work", "begin", b);
-    volatile int sink = 0;
-    for (int i = 0; i < 20000; ++i) sink = sink + i;
-    chunks.fetch_add(static_cast<int>(e - b));
-  });
-  obs::set_trace_enabled(false);
-
-  const auto spans = obs::collect_spans();
+  // On a loaded or single-core host the caller can occasionally drain all 64
+  // chunks before any pool worker wakes, so a single attempt is a scheduling
+  // coin-flip. Retry until at least two distinct threads (one of them a pool
+  // worker) have recorded spans; every attempt still checks the invariants
+  // that do not depend on scheduling.
   std::set<int> tids;
   std::set<std::string> names;
   std::size_t pool_work = 0;
-  for (const auto& s : spans) {
-    if (s.name != "test.pool_work") continue;
-    ++pool_work;
-    tids.insert(s.tid);
-    names.insert(s.thread_name);
-    // Chunks run either on the caller or on a named pool worker.
-    EXPECT_TRUE(s.thread_name == "obs-test-main" ||
-                s.thread_name.rfind("pool-worker-", 0) == 0)
-        << s.thread_name;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    obs::set_trace_enabled(true);
+    std::atomic<int> chunks{0};
+    parallel::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+      SDMPEB_SPAN("test.pool_work", "begin", b);
+      volatile int sink = 0;
+      for (int i = 0; i < 20000; ++i) sink = sink + i;
+      chunks.fetch_add(static_cast<int>(e - b));
+    });
+    obs::set_trace_enabled(false);
+
+    const auto spans = obs::collect_spans();
+    for (const auto& s : spans) {
+      if (s.name != "test.pool_work") continue;
+      ++pool_work;
+      tids.insert(s.tid);
+      names.insert(s.thread_name);
+      // Chunks run either on the caller or on a named pool worker.
+      EXPECT_TRUE(s.thread_name == "obs-test-main" ||
+                  s.thread_name.rfind("pool-worker-", 0) == 0)
+          << s.thread_name;
+    }
+    EXPECT_EQ(static_cast<int>(chunks.load()), 64);
+    // collect_spans orders by tid: verify the grouping is monotonic.
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_LE(spans[i - 1].tid, spans[i].tid);
+
+    bool worker_seen = false;
+    for (const auto& n : names)
+      if (n.rfind("pool-worker-", 0) == 0) worker_seen = true;
+    if (tids.size() >= 2 && worker_seen) break;
   }
-  EXPECT_EQ(static_cast<int>(chunks.load()), 64);
   EXPECT_GE(pool_work, 1u);
-  // 64 chunks of ~20k iterations across 4 threads: at least two distinct
-  // threads record, and at least one of them is a pool worker.
+  // Across attempts: at least two distinct threads record, and at least one
+  // of them is a pool worker.
   EXPECT_GE(tids.size(), 2u);
   bool saw_worker = false;
   for (const auto& n : names)
     if (n.rfind("pool-worker-", 0) == 0) saw_worker = true;
   EXPECT_TRUE(saw_worker);
-  // collect_spans orders by tid: verify the grouping is monotonic.
-  for (std::size_t i = 1; i < spans.size(); ++i)
-    EXPECT_LE(spans[i - 1].tid, spans[i].tid);
   parallel::set_thread_count(previous);
 }
 

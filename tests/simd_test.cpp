@@ -1,0 +1,487 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/gemm.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "nn/ops.hpp"
+#include "nn/value.hpp"
+#include "peb/peb_solver.hpp"
+#include "peb/tridiag.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb {
+namespace {
+
+namespace nnops = nn::ops;
+using nn::Value;
+
+/// Restores thread count, GEMM backend, and kernel backend after each test.
+class SimdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    threads_ = parallel::thread_count();
+    backend_ = gemm::backend();
+    isa_ = simd::active();
+  }
+  void TearDown() override {
+    parallel::set_thread_count(threads_);
+    gemm::set_backend(backend_);
+    simd::set_active(isa_);
+  }
+  int threads_ = 1;
+  gemm::Backend backend_ = gemm::Backend::kPacked;
+  simd::Isa isa_ = simd::Isa::kScalar;
+};
+
+/// Run `body` once per kernel backend available on this machine (scalar
+/// always; AVX2 when the CPU supports it). The backend is active while the
+/// body runs.
+void for_each_backend(const std::function<void(simd::Isa)>& body) {
+  body(simd::Isa::kScalar);
+  if (simd::cpu_has_avx2()) {
+    simd::set_active(simd::Isa::kAvx2);
+    body(simd::Isa::kAvx2);
+  }
+}
+
+std::vector<float> random_vec(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform(std::move(shape), rng, -1.0f, 1.0f);
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.numel(), b.numel());
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol,
+                  const char* what) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_NEAR(a[i], b[i], tol * std::max(1.0f, std::abs(a[i])))
+        << what << " at " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Detection and dispatch plumbing.
+// ---------------------------------------------------------------------------
+
+TEST_F(SimdTest, DetectionNamesAndOverride) {
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kScalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kAvx2), "avx2");
+  EXPECT_NE(std::string(simd::cpu_feature_string()), "");
+
+  // set_active clamps to what the CPU supports: requesting AVX2 on a host
+  // without it stays scalar instead of crashing on the first kernel call.
+  simd::set_active(simd::Isa::kAvx2);
+  if (simd::cpu_has_avx2()) {
+    EXPECT_EQ(simd::active(), simd::Isa::kAvx2);
+    EXPECT_NE(simd::gemm_tile_16(), nullptr);
+    EXPECT_NE(simd::tridiag_lines4(), nullptr);
+  } else {
+    EXPECT_EQ(simd::active(), simd::Isa::kScalar);
+  }
+  simd::set_active(simd::Isa::kScalar);
+  EXPECT_EQ(simd::active(), simd::Isa::kScalar);
+  // Under the scalar backend the vector-only entry points vanish, which is
+  // how callers fall back to their scalar paths.
+  EXPECT_EQ(simd::gemm_tile_16(), nullptr);
+  EXPECT_EQ(simd::tridiag_lines4(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Arena alignment: every span the workspace arena hands out is 64-byte
+// aligned, which the AVX2 kernels rely on only for performance (all loads
+// are unaligned-tolerant) but the contract is pinned here regardless.
+// ---------------------------------------------------------------------------
+
+TEST_F(SimdTest, ArenaAlignment) {
+  static_assert(WorkspaceArena::kAlignment == 64);
+  auto& arena = WorkspaceArena::tls();
+  WorkspaceArena::Scope scope(arena);
+  for (std::int64_t n : {1, 3, 7, 15, 63, 64, 65, 100, 1000, 4099}) {
+    const float* f = arena.floats(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f) % WorkspaceArena::kAlignment,
+              0u)
+        << "floats(" << n << ")";
+    const double* d = arena.doubles(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % WorkspaceArena::kAlignment,
+              0u)
+        << "doubles(" << n << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels: bitwise identical ACROSS backends (the strongest tier
+// of the DESIGN.md §11 contract). Inputs include negatives, ±0, infinities,
+// and denormals; sizes cover every vector/tail split.
+// ---------------------------------------------------------------------------
+
+std::vector<float> elementwise_input(std::int64_t n, std::uint64_t seed) {
+  auto v = random_vec(n, seed);
+  if (n > 0) v[0] = -0.0f;
+  if (n > 3) v[3] = 0.0f;
+  if (n > 5) v[5] = std::numeric_limits<float>::infinity();
+  if (n > 6) v[6] = -std::numeric_limits<float>::infinity();
+  if (n > 9) v[9] = std::numeric_limits<float>::denorm_min();
+  return v;
+}
+
+TEST_F(SimdTest, ElementwiseBitwiseEqualAcrossBackends) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  for (std::int64_t n : {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 100}) {
+    const auto a0 = elementwise_input(n, 11);
+    const auto b = elementwise_input(n, 12);
+    const auto run = [&](simd::Isa isa, auto&& op) {
+      simd::set_active(isa);
+      auto dst = a0;
+      op(dst);
+      return dst;
+    };
+    const auto check = [&](const char* name, auto&& op) {
+      const auto s = run(simd::Isa::kScalar, op);
+      const auto v = run(simd::Isa::kAvx2, op);
+      EXPECT_EQ(std::memcmp(s.data(), v.data(), s.size() * sizeof(float)), 0)
+          << name << " n=" << n;
+    };
+    check("vadd", [&](std::vector<float>& d) {
+      simd::vadd(d.data(), b.data(), n);
+    });
+    check("vsub", [&](std::vector<float>& d) {
+      simd::vsub(d.data(), b.data(), n);
+    });
+    check("vmul", [&](std::vector<float>& d) {
+      simd::vmul(d.data(), b.data(), n);
+    });
+    check("vscale", [&](std::vector<float>& d) {
+      simd::vscale(d.data(), 0.37f, n);
+    });
+    check("vaxpy", [&](std::vector<float>& d) {
+      simd::vaxpy(d.data(), b.data(), -1.13f, n);
+    });
+    check("vmul_add", [&](std::vector<float>& d) {
+      simd::vmul_add(d.data(), b.data(), b.data(), n);
+    });
+    check("vrelu", [&](std::vector<float>& d) {
+      simd::vrelu(d.data(), d.data(), n);
+    });
+    check("vrelu_bwd", [&](std::vector<float>& d) {
+      simd::vrelu_bwd(d.data(), b.data(), b.data(), n);
+    });
+    check("vleaky_relu", [&](std::vector<float>& d) {
+      simd::vleaky_relu(d.data(), d.data(), 0.01f, n);
+    });
+    check("vleaky_relu_bwd", [&](std::vector<float>& d) {
+      simd::vleaky_relu_bwd(d.data(), b.data(), b.data(), 0.01f, n);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: bitwise deterministic per backend at any thread count; AVX2 agrees
+// with the naive reference to float tolerance, including shapes that are not
+// multiples of either microtile (6x8 scalar, 6x16 AVX2) and strided outputs.
+// ---------------------------------------------------------------------------
+
+struct GemmCase {
+  std::int64_t m, n, k;
+  bool ta, tb;
+  float beta;
+};
+
+const GemmCase kGemmCases[] = {
+    {1, 1, 1, false, false, 0.0f},    {5, 7, 9, false, false, 0.0f},
+    {6, 16, 32, false, false, 0.0f},  {7, 17, 33, false, false, 0.0f},
+    {13, 31, 64, true, false, 0.0f},  {37, 29, 53, false, true, 0.5f},
+    {12, 48, 48, true, true, 1.0f},   {64, 64, 64, false, false, 0.0f},
+};
+
+std::vector<float> run_gemm_packed(const GemmCase& t, std::uint64_t seed) {
+  const auto lda = t.ta ? t.m : t.k;
+  const auto ldb = t.tb ? t.k : t.n;
+  const auto a = random_vec((t.ta ? t.k : t.m) * lda, seed);
+  const auto b = random_vec((t.tb ? t.n : t.k) * ldb, seed + 1);
+  auto c = random_vec(t.m * t.n, seed + 2);
+  gemm::gemm_packed(t.m, t.n, t.k, a.data(), lda, t.ta, b.data(), ldb, t.tb,
+                    c.data(), t.n, t.beta);
+  return c;
+}
+
+TEST_F(SimdTest, GemmBitwiseDeterministicPerBackendAcrossThreadCounts) {
+  for_each_backend([&](simd::Isa isa) {
+    for (const auto& t : kGemmCases) {
+      parallel::set_thread_count(1);
+      const auto c1 = run_gemm_packed(t, 21);
+      parallel::set_thread_count(3);
+      const auto c3 = run_gemm_packed(t, 21);
+      EXPECT_EQ(std::memcmp(c1.data(), c3.data(), c1.size() * sizeof(float)),
+                0)
+          << simd::isa_name(isa) << " m=" << t.m << " n=" << t.n
+          << " k=" << t.k;
+    }
+  });
+}
+
+TEST_F(SimdTest, GemmAvx2MatchesNaiveWithinTolerance) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  simd::set_active(simd::Isa::kAvx2);
+  for (const auto& t : kGemmCases) {
+    const auto lda = t.ta ? t.m : t.k;
+    const auto ldb = t.tb ? t.k : t.n;
+    const auto a = random_vec((t.ta ? t.k : t.m) * lda, 31);
+    const auto b = random_vec((t.tb ? t.n : t.k) * ldb, 32);
+    auto c_ref = random_vec(t.m * t.n, 33);
+    auto c_vec = c_ref;
+    gemm::gemm_naive(t.m, t.n, t.k, a.data(), lda, t.ta, b.data(), ldb, t.tb,
+                     c_ref.data(), t.n, t.beta);
+    gemm::gemm_packed(t.m, t.n, t.k, a.data(), lda, t.ta, b.data(), ldb, t.tb,
+                      c_vec.data(), t.n, t.beta);
+    const float tol =
+        1e-5f * static_cast<float>(t.k) + 1e-5f;
+    for (std::size_t i = 0; i < c_ref.size(); ++i)
+      ASSERT_NEAR(c_ref[i], c_vec[i], tol)
+          << "m=" << t.m << " n=" << t.n << " k=" << t.k << " i=" << i;
+  }
+}
+
+TEST_F(SimdTest, GemmAvx2StridedOutputLeavesGuardColumnsUntouched) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  // Guard columns exercise the masked edge stores: n is not a multiple of
+  // 16, so the last column block writes through a maskstore that must not
+  // touch the (ldc - n) guard columns.
+  simd::set_active(simd::Isa::kAvx2);
+  const std::int64_t m = 13, n = 21, k = 40, ldc = 29;
+  const auto a = random_vec(m * k, 41);
+  const auto b = random_vec(k * n, 42);
+  std::vector<float> c(static_cast<std::size_t>(m * ldc), 12345.0f);
+  gemm::gemm_packed(m, n, k, a.data(), k, false, b.data(), n, false, c.data(),
+                    ldc, 0.0f);
+  for (std::int64_t r = 0; r < m; ++r)
+    for (std::int64_t j = n; j < ldc; ++j)
+      ASSERT_EQ(c[static_cast<std::size_t>(r * ldc + j)], 12345.0f)
+          << "guard overwritten at row " << r << " col " << j;
+}
+
+// ---------------------------------------------------------------------------
+// Depthwise conv and layer norm through the autograd ops: per-backend
+// bitwise thread-count determinism for forward AND gradients, plus
+// cross-backend tolerance.
+// ---------------------------------------------------------------------------
+
+struct DwconvRun {
+  Tensor out, gx, gw;
+};
+
+DwconvRun run_dwconv3d() {
+  const auto x0 = random_tensor(Shape{3, 5, 11, 13}, 51);
+  const auto w0 = random_tensor(Shape{3, 3, 3, 3}, 52);
+  const auto b0 = random_tensor(Shape{3}, 53);
+  auto x = nn::make_value(x0, true);
+  auto w = nn::make_value(w0, true);
+  auto b = nn::make_value(b0, false);
+  auto y = nnops::dwconv3d(x, w, b, 1);
+  nn::backward(nnops::sum(nnops::square(y)));
+  return {y->value(), x->grad(), w->grad()};
+}
+
+DwconvRun run_dwconv1d() {
+  const auto x0 = random_tensor(Shape{33, 17}, 54);
+  const auto w0 = random_tensor(Shape{17, 5}, 55);
+  const auto b0 = random_tensor(Shape{17}, 56);
+  auto x = nn::make_value(x0, true);
+  auto w = nn::make_value(w0, true);
+  auto b = nn::make_value(b0, false);
+  auto y = nnops::dwconv1d_seq(x, w, b);
+  nn::backward(nnops::sum(nnops::square(y)));
+  return {y->value(), x->grad(), w->grad()};
+}
+
+DwconvRun run_layer_norm() {
+  const auto x0 = random_tensor(Shape{9, 37}, 57);
+  const auto g0 = random_tensor(Shape{37}, 58);
+  const auto b0 = random_tensor(Shape{37}, 59);
+  auto x = nn::make_value(x0, true);
+  auto g = nn::make_value(g0, true);
+  auto b = nn::make_value(b0, false);
+  auto y = nnops::layer_norm(x, g, b, 1e-5f);
+  nn::backward(nnops::sum(nnops::square(y)));
+  return {y->value(), x->grad(), g->grad()};
+}
+
+void expect_run_bitwise_across_threads(DwconvRun (*run)(), const char* what) {
+  for_each_backend([&](simd::Isa isa) {
+    parallel::set_thread_count(1);
+    const auto r1 = run();
+    parallel::set_thread_count(3);
+    const auto r3 = run();
+    const std::string tag = std::string(what) + " " + simd::isa_name(isa);
+    expect_bitwise(r1.out, r3.out, (tag + " out").c_str());
+    expect_bitwise(r1.gx, r3.gx, (tag + " gx").c_str());
+    expect_bitwise(r1.gw, r3.gw, (tag + " gw").c_str());
+  });
+}
+
+void expect_run_close_across_backends(DwconvRun (*run)(), float tol,
+                                      const char* what) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  simd::set_active(simd::Isa::kScalar);
+  const auto rs = run();
+  simd::set_active(simd::Isa::kAvx2);
+  const auto rv = run();
+  const std::string tag = what;
+  expect_close(rs.out, rv.out, tol, (tag + " out").c_str());
+  expect_close(rs.gx, rv.gx, tol, (tag + " gx").c_str());
+  expect_close(rs.gw, rv.gw, tol, (tag + " gw").c_str());
+}
+
+TEST_F(SimdTest, Dwconv3dBitwiseDeterministicPerBackend) {
+  expect_run_bitwise_across_threads(&run_dwconv3d, "dwconv3d");
+}
+
+TEST_F(SimdTest, Dwconv1dBitwiseDeterministicPerBackend) {
+  expect_run_bitwise_across_threads(&run_dwconv1d, "dwconv1d");
+}
+
+TEST_F(SimdTest, LayerNormBitwiseDeterministicPerBackend) {
+  expect_run_bitwise_across_threads(&run_layer_norm, "layer_norm");
+}
+
+TEST_F(SimdTest, Dwconv3dBackendsAgreeWithinTolerance) {
+  expect_run_close_across_backends(&run_dwconv3d, 1e-4f, "dwconv3d");
+}
+
+TEST_F(SimdTest, Dwconv1dBackendsAgreeWithinTolerance) {
+  expect_run_close_across_backends(&run_dwconv1d, 1e-4f, "dwconv1d");
+}
+
+TEST_F(SimdTest, LayerNormBackendsAgreeWithinTolerance) {
+  expect_run_close_across_backends(&run_layer_norm, 1e-4f, "layer_norm");
+}
+
+// ---------------------------------------------------------------------------
+// ADI tridiagonal line batches: the 4-lane kernel must reproduce the scalar
+// per-lane substitution in both line geometries (contiguous lanes, as in the
+// z/y sweeps, and strided lanes as in the x sweep), and a full PEB bake must
+// stay bitwise thread-count deterministic per backend.
+// ---------------------------------------------------------------------------
+
+void run_adi_lanes(std::int64_t n, std::int64_t elem_stride,
+                   std::int64_t lane_stride, std::vector<double>& data) {
+  std::vector<double> sub(n), diag(n), sup(n);
+  Rng rng(61);
+  for (std::int64_t i = 0; i < n; ++i) {
+    sub[i] = rng.uniform(-1.0, 1.0);
+    sup[i] = rng.uniform(-1.0, 1.0);
+    diag[i] = 3.0 + rng.uniform(0.0, 1.0);
+  }
+  peb::TridiagFactors factors;
+  factors.factor(sub, diag, sup);
+  std::vector<double> d_scratch(static_cast<std::size_t>(4 * n));
+  peb::adi_solve_lines(factors, n, data.data(), elem_stride, lane_stride, 4,
+                       0.25, d_scratch);
+}
+
+TEST_F(SimdTest, AdiLines4MatchesScalarInBothGeometries) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::int64_t n = 19;
+  struct Geometry {
+    std::int64_t elem_stride, lane_stride;
+  };
+  // elem_stride 4 / lane_stride 1: z- and y-sweep layout (lanes contiguous).
+  // elem_stride 1 / lane_stride n: x-sweep layout (lanes strided).
+  for (const Geometry geo : {Geometry{4, 1}, Geometry{1, n}}) {
+    std::vector<double> grid(static_cast<std::size_t>(4 * n));
+    Rng rng(62);
+    for (auto& v : grid) v = rng.uniform(-0.2, 1.0);
+    auto scalar_grid = grid;
+    auto vector_grid = grid;
+    simd::set_active(simd::Isa::kScalar);
+    run_adi_lanes(n, geo.elem_stride, geo.lane_stride, scalar_grid);
+    simd::set_active(simd::Isa::kAvx2);
+    run_adi_lanes(n, geo.elem_stride, geo.lane_stride, vector_grid);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      ASSERT_NEAR(scalar_grid[i], vector_grid[i], 1e-12)
+          << "elem_stride=" << geo.elem_stride << " i=" << i;
+    // The clamp is part of the contract: no negative concentrations.
+    for (double v : vector_grid) ASSERT_GE(v, 0.0);
+  }
+}
+
+peb::PebState run_small_bake() {
+  peb::PebParams p;
+  p.duration_s = 0.5;
+  peb::PebSolver solver(p);
+  Grid3 acid0(6, 7, 9);
+  Rng rng(63);
+  for (auto& v : acid0.data()) v = rng.uniform(0.0, 0.9);
+  return solver.run(acid0);
+}
+
+void expect_grids_equal(const Grid3& a, const Grid3& b, double tol,
+                        const char* what) {
+  ASSERT_EQ(a.numel(), b.numel());
+  const auto sa = a.data();
+  const auto sb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_NEAR(sa[static_cast<std::size_t>(i)],
+                sb[static_cast<std::size_t>(i)], tol)
+        << what << " at " << i;
+}
+
+TEST_F(SimdTest, PebBakeBitwiseDeterministicPerBackend) {
+  for_each_backend([&](simd::Isa isa) {
+    parallel::set_thread_count(1);
+    const auto s1 = run_small_bake();
+    parallel::set_thread_count(3);
+    const auto s3 = run_small_bake();
+    const auto bitwise = [&](const Grid3& a, const Grid3& b,
+                             const char* what) {
+      ASSERT_EQ(a.numel(), b.numel());
+      EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                            static_cast<std::size_t>(a.numel()) *
+                                sizeof(double)),
+                0)
+          << what << " under " << simd::isa_name(isa);
+    };
+    bitwise(s1.acid, s3.acid, "acid");
+    bitwise(s1.base, s3.base, "base");
+    bitwise(s1.inhibitor, s3.inhibitor, "inhibitor");
+  });
+}
+
+TEST_F(SimdTest, PebBakeBackendsAgreeWithinTolerance) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  simd::set_active(simd::Isa::kScalar);
+  const auto ss = run_small_bake();
+  simd::set_active(simd::Isa::kAvx2);
+  const auto sv = run_small_bake();
+  // Both backends perform the identical IEEE op sequence per lane (the AVX2
+  // solver uses true divisions, not reciprocal approximations), so the
+  // tolerance is near machine epsilon rather than a loose bound.
+  expect_grids_equal(ss.acid, sv.acid, 1e-12, "acid");
+  expect_grids_equal(ss.base, sv.base, 1e-12, "base");
+  expect_grids_equal(ss.inhibitor, sv.inhibitor, 1e-12, "inhibitor");
+}
+
+}  // namespace
+}  // namespace sdmpeb
