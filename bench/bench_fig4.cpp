@@ -35,6 +35,7 @@ int main() {
 
   CsvWriter profile({"depth_index", "z_nm", "photoacid_initial",
                      "inhibitor_final"});
+  profile.add_build_metadata();
   const auto col = clip.contacts.front().center_w;
   for (std::int64_t d = 0; d < acid0.depth(); ++d)
     profile.add_row_numeric({static_cast<double>(d),

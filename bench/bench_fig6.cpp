@@ -36,6 +36,7 @@ int main() {
               static_cast<long long>(acid_hist.total()));
   std::printf("%-12s %14s %14s\n", "bucket", "photoacid", "inhibitor");
   CsvWriter table({"bucket", "photoacid_freq", "inhibitor_freq"});
+  table.add_build_metadata();
   for (std::int64_t b = 0; b < 10; ++b) {
     std::printf("%-12s %14.6f %14.6f\n", acid_hist.label(b).c_str(),
                 acid_freq[static_cast<std::size_t>(b)],

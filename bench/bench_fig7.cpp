@@ -19,6 +19,7 @@ int main() {
 
   CsvWriter table({"method", "axis", "0-1nm_pct", "1-2nm_pct", "2-3nm_pct",
                    "3-4nm_pct", "ge4nm_pct"});
+  table.add_build_metadata();
   std::printf("[bench_fig7] CD-error bucket percentages\n");
   std::printf("%-14s %-4s %8s %8s %8s %8s %8s\n", "method", "axis", "0-1",
               "1-2", "2-3", "3-4", ">=4");

@@ -60,6 +60,7 @@ int main() {
   }
 
   CsvWriter profile({"contact", "depth_index", "gt", "pred", "diff"});
+  profile.add_build_metadata();
   const auto dump_cut = [&](std::size_t idx, const char* tag) {
     const auto row = contacts[idx].center_h;
     const auto col = contacts[idx].center_w;

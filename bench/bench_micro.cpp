@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "common/gemm.hpp"
+#include "report_json.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
@@ -320,19 +321,36 @@ void run_thread_scaling_sweep() {
   const std::string features = simd::cpu_feature_string();
   CsvWriter csv({"kernel", "threads", "ms", "speedup", "bit_identical",
                  "backend", "cpu_features"});
+  csv.add_build_metadata();
+  // Alongside the CSV, the serial-width trials also feed a
+  // sdmpeb-bench-report/1 JSON so micro runs diff with bench_compare.py
+  // exactly like bench_report's.
+  sdmpeb::bench::ReportWriter report;
   for (auto& kernel : sweep_kernels()) {
     double serial_ms = 0.0;
     std::vector<float> serial_fp;
     for (int threads : widths) {
       parallel::set_thread_count(threads);
       kernel.run();  // warm-up (also primes the pool)
+      std::vector<double> trial_ms;
       Timer timer;
       std::vector<float> fp;
-      for (int rep = 0; rep < kernel.repeats; ++rep) fp = kernel.run();
+      for (int rep = 0; rep < kernel.repeats; ++rep) {
+        Timer trial;
+        fp = kernel.run();
+        trial_ms.push_back(trial.milliseconds());
+      }
       const double ms = timer.milliseconds() / kernel.repeats;
       if (threads == 1) {
         serial_ms = ms;
         serial_fp = fp;
+        sdmpeb::bench::KernelReport stat;
+        stat.name = kernel.name;
+        stat.median_ms = sdmpeb::bench::series_median(trial_ms);
+        stat.iqr_ms = sdmpeb::bench::series_iqr(trial_ms);
+        stat.min_ms = *std::min_element(trial_ms.begin(), trial_ms.end());
+        stat.trials = kernel.repeats;
+        report.add(stat);
       }
       const bool identical =
           fp.size() == serial_fp.size() &&
@@ -354,6 +372,8 @@ void run_thread_scaling_sweep() {
   const std::string path = "bench_out/micro_thread_scaling.csv";
   csv.save(path);
   std::printf("[bench] wrote %s\n", path.c_str());
+  report.save("bench_out/micro_report.json", 1);
+  std::printf("[bench] wrote bench_out/micro_report.json\n");
 }
 
 // --- GEMM / conv roofline ----------------------------------------------------
@@ -379,6 +399,7 @@ void run_gemm_roofline() {
   CsvWriter csv({"case", "m", "n", "k", "flops", "naive_ms", "packed_ms",
                  "simd_ms", "naive_gflops", "packed_gflops", "simd_gflops",
                  "speedup", "simd_speedup", "backend", "cpu_features"});
+  csv.add_build_metadata();
   std::printf("[bench] GEMM/conv roofline (single thread, backend %s)\n",
               backend.c_str());
 

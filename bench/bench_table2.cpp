@@ -46,6 +46,7 @@ int main() {
   CsvWriter table({"method", "inhibitor_rmse", "inhibitor_nrmse_pct",
                    "rate_rmse", "rate_nrmse_pct", "cd_err_x_nm",
                    "cd_err_y_nm", "runtime_s", "speedup_vs_rigorous"});
+  table.add_build_metadata();
   for (const auto& r : results) {
     table.add_row(
         {r.name, std::to_string(r.accuracy.inhibitor_rmse),

@@ -81,6 +81,7 @@ int main() {
 
   CsvWriter table({"methodology", "inhibitor_nrmse_pct", "rate_nrmse_pct",
                    "cd_err_x_nm", "cd_err_y_nm"});
+  table.add_build_metadata();
   for (const auto& r : results)
     table.add_row({r.name, std::to_string(r.accuracy.inhibitor_nrmse * 100.0),
                    std::to_string(r.accuracy.rate_nrmse * 100.0),

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Diff a bench_out/report.json against a checked-in baseline.
+
+Usage:
+  bench_compare.py BASELINE.json REPORT.json [--tolerance 0.15]
+                   [--noise-mult 4.0] [--strict] [--update]
+
+Regression rule (noise-aware): a kernel regresses only when BOTH hold
+
+  report.median_ms > baseline.median_ms * (1 + tolerance)
+  report.median_ms - baseline.median_ms > noise_mult * max(iqr_b, iqr_r)
+
+so a slow median inside the measured jitter band never fails the gate.
+A baseline kernel entry may carry a per-kernel "tolerance" overriding the
+global one (looser bands for noisy kernels, tighter for stable ones).
+
+Machine fingerprints: baselines are recorded on one machine; on a different
+machine absolute timings are not comparable, so a fingerprint mismatch
+downgrades the run to ADVISORY (report, exit 0) unless --strict is given.
+CI gets strict comparisons by generating baseline and report on the same
+runner; the checked-in baseline compare stays advisory.
+
+Exit codes: 0 pass/advisory, 1 regression (or missing kernel), 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import shutil
+import sys
+
+
+def reject_non_finite(value):
+    raise ValueError(f"non-finite number in report: {value}")
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh, parse_constant=reject_non_finite)
+    except (OSError, ValueError) as exc:
+        print(f"bench_compare: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("schema") != "sdmpeb-bench-report/1":
+        print(f"bench_compare: {path}: unexpected schema "
+              f"{data.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    kernels = {}
+    for entry in data.get("kernels", []):
+        name = entry.get("name")
+        median = entry.get("median_ms")
+        iqr = entry.get("iqr_ms", 0.0)
+        if not name or not isinstance(median, (int, float)) or median <= 0 \
+                or not math.isfinite(median) or not math.isfinite(iqr):
+            print(f"bench_compare: {path}: malformed kernel entry {entry!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        kernels[name] = entry
+    if not kernels:
+        print(f"bench_compare: {path}: no kernels", file=sys.stderr)
+        sys.exit(2)
+    return data, kernels
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("report")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="global median regression band (default 0.15)")
+    parser.add_argument("--noise-mult", type=float, default=4.0,
+                        help="regression must also exceed this multiple of "
+                             "the larger IQR (default 4.0)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on regressions even when the machine "
+                             "fingerprints differ")
+    parser.add_argument("--update", action="store_true",
+                        help="copy REPORT over BASELINE and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.report, args.baseline)
+        print(f"bench_compare: baseline {args.baseline} updated from "
+              f"{args.report}")
+        return 0
+
+    base_doc, base = load_report(args.baseline)
+    rep_doc, rep = load_report(args.report)
+
+    same_machine = (base_doc.get("machine_fingerprint")
+                    == rep_doc.get("machine_fingerprint"))
+    same_backend = base_doc.get("backend") == rep_doc.get("backend")
+    advisory = not (same_machine and same_backend) and not args.strict
+    if not same_backend:
+        print(f"bench_compare: backend mismatch: baseline "
+              f"{base_doc.get('backend')!r} vs report "
+              f"{rep_doc.get('backend')!r}")
+    if not same_machine:
+        print("bench_compare: machine fingerprint mismatch "
+              f"(baseline {base_doc.get('machine_fingerprint')!r}, "
+              f"report {rep_doc.get('machine_fingerprint')!r})"
+              + ("" if args.strict else " — comparison is ADVISORY"))
+
+    failures = []
+    for name, b in sorted(base.items()):
+        r = rep.get(name)
+        if r is None:
+            failures.append(f"{name}: missing from report")
+            print(f"  MISSING  {name}")
+            continue
+        tol = b.get("tolerance", args.tolerance)
+        bm, rm = b["median_ms"], r["median_ms"]
+        noise = args.noise_mult * max(b.get("iqr_ms", 0.0),
+                                      r.get("iqr_ms", 0.0))
+        ratio = rm / bm
+        over_band = rm > bm * (1.0 + tol)
+        over_noise = (rm - bm) > noise
+        regressed = over_band and over_noise
+        tag = "REGRESS" if regressed else (
+            "noise" if over_band else ("faster" if ratio < 1.0 else "ok"))
+        print(f"  {tag:8s} {name:24s} {bm:9.3f} -> {rm:9.3f} ms "
+              f"({(ratio - 1.0) * 100.0:+6.1f}%, tol {tol * 100.0:.0f}%, "
+              f"noise floor {noise:.3f} ms)")
+        if regressed:
+            failures.append(f"{name}: {bm:.3f} -> {rm:.3f} ms "
+                            f"({(ratio - 1.0) * 100.0:+.1f}%)")
+
+    extra = sorted(set(rep) - set(base))
+    if extra:
+        print(f"bench_compare: kernels not in baseline (ignored): "
+              f"{', '.join(extra)}")
+
+    if failures:
+        verdict = "ADVISORY regression(s)" if advisory else "REGRESSION"
+        print(f"bench_compare: {verdict}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 0 if advisory else 1
+    print("bench_compare: PASS "
+          f"({len(base)} kernels within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

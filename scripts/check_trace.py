@@ -3,21 +3,36 @@
 
 Usage: check_trace.py TRACE.json [--require-span NAME ...]
 
-Checks that the file parses as JSON, follows the trace_event format
-(traceEvents list of "X" complete events with name/ts/dur/pid/tid, "M"
-metadata events for thread names), that timestamps are sane, and that every
---require-span name appears at least once. Exits non-zero on any failure so
-CI can gate on it.
+Checks that the file parses as JSON (strict: NaN/Infinity literals are
+rejected), follows the trace_event format (traceEvents list of "X" complete
+events with name/ts/dur/pid/tid, "M" metadata events for thread names), that
+timestamps are sane, that every --require-span name appears at least once,
+and that counter-annotated spans (perfmon integration, DESIGN.md §12) carry
+finite non-negative numbers under every known counter arg key. Exits
+non-zero on any failure so CI can gate on it.
 """
 
 import argparse
 import json
+import math
 import sys
+
+# Span arg keys written by the perfmon/obs integration: raw counter deltas
+# plus the derived rates. All must be finite, non-negative numbers.
+COUNTER_ARG_KEYS = frozenset({
+    "cycles", "instructions", "l1d_miss", "llc_miss", "branch_miss",
+    "task_clock_ns", "page_faults", "ctx_switches",
+    "ipc", "l1d_mpki", "llc_mpki", "branch_mpki", "gflops",
+})
 
 
 def fail(msg: str) -> None:
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def reject_non_finite(value: str) -> None:
+    fail(f"non-finite JSON literal in trace: {value}")
 
 
 def main() -> None:
@@ -31,7 +46,7 @@ def main() -> None:
 
     try:
         with open(args.trace, encoding="utf-8") as fh:
-            doc = json.load(fh)
+            doc = json.load(fh, parse_constant=reject_non_finite)
     except (OSError, json.JSONDecodeError) as exc:
         fail(f"cannot parse {args.trace}: {exc}")
 
@@ -43,12 +58,30 @@ def main() -> None:
 
     spans = [e for e in events if e.get("ph") == "X"]
     metadata = [e for e in events if e.get("ph") == "M"]
+    counter_spans = 0
     for e in spans:
         for key in ("name", "ts", "dur", "pid", "tid"):
             if key not in e:
                 fail(f"complete event missing '{key}': {e}")
         if e["dur"] < 0 or e["ts"] < 0:
             fail(f"negative timestamp/duration: {e}")
+        span_args = e.get("args", {})
+        if not isinstance(span_args, dict):
+            fail(f"span args is not an object: {e}")
+        counter_keys = COUNTER_ARG_KEYS & span_args.keys()
+        for key in counter_keys:
+            value = span_args[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(f"counter arg '{key}' is not a number: {e}")
+            if not math.isfinite(value) or value < 0:
+                fail(f"counter arg '{key}' not finite/non-negative: {e}")
+        if counter_keys:
+            counter_spans += 1
+            # A span claiming hardware attribution must be self-consistent:
+            # ipc requires both of its inputs.
+            if "ipc" in span_args and not {"cycles",
+                                           "instructions"} <= span_args.keys():
+                fail(f"span has ipc without cycles+instructions: {e}")
     for e in metadata:
         if e.get("name") == "thread_name" and "name" not in e.get("args", {}):
             fail(f"thread_name metadata without args.name: {e}")
@@ -63,7 +96,8 @@ def main() -> None:
 
     threads = {e["tid"] for e in spans}
     print(f"check_trace: OK: {len(spans)} spans, {len(names)} distinct names, "
-          f"{len(threads)} thread(s), {len(metadata)} metadata events")
+          f"{len(threads)} thread(s), {len(metadata)} metadata events, "
+          f"{counter_spans} counter-annotated span(s)")
 
 
 if __name__ == "__main__":

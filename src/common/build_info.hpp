@@ -1,0 +1,21 @@
+#pragma once
+
+// Build provenance, generated at build time by cmake/gen_build_info.cmake
+// into <build>/generated/build_info.cpp. Every bench CSV header, the
+// metrics dumps and bench_out/report.json record these so archived numbers
+// stay attributable to the commit and flags that produced them.
+
+namespace sdmpeb::build {
+
+/// Short git SHA of HEAD, with a "+dirty" suffix when the work tree had
+/// uncommitted changes at build time; "unknown" outside a git checkout.
+const char* git_sha();
+
+/// CMAKE_BUILD_TYPE of this binary ("RelWithDebInfo", "Release", ...).
+const char* build_type();
+
+/// The compiler flags the build type resolved to (CMAKE_CXX_FLAGS plus the
+/// per-config flags), for spotting -O0 or sanitizer builds in old CSVs.
+const char* build_flags();
+
+}  // namespace sdmpeb::build

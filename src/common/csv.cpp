@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/atomic_file.hpp"
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 
 namespace sdmpeb {
@@ -46,8 +47,21 @@ void CsvWriter::add_row_numeric(const std::vector<double>& cells) {
   add_row(std::move(text));
 }
 
+void CsvWriter::add_metadata(const std::string& key,
+                             const std::string& value) {
+  metadata_.emplace_back(key, value);
+}
+
+void CsvWriter::add_build_metadata() {
+  add_metadata("git_sha", build::git_sha());
+  add_metadata("build_type", build::build_type());
+  add_metadata("build_flags", build::build_flags());
+}
+
 std::string CsvWriter::to_string() const {
   std::ostringstream os;
+  for (const auto& [key, value] : metadata_)
+    os << "# " << key << '=' << value << '\n';
   for (std::size_t i = 0; i < header_.size(); ++i) {
     if (i) os << ',';
     os << escape(header_[i]);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sdmpeb {
@@ -16,7 +17,16 @@ class CsvWriter {
   /// Convenience: formats doubles with 6 significant digits.
   void add_row_numeric(const std::vector<double>& cells);
 
-  /// Render the full table (header + rows) as CSV text.
+  /// Attribution comment line (`# key=value`) emitted before the column
+  /// header. Keys repeat in insertion order.
+  void add_metadata(const std::string& key, const std::string& value);
+
+  /// add_metadata for git_sha, build_type and build_flags from
+  /// common/build_info.hpp — every bench CSV calls this so old dumps stay
+  /// attributable to the commit that produced them.
+  void add_build_metadata();
+
+  /// Render the full table (metadata + header + rows) as CSV text.
   std::string to_string() const;
 
   /// Write to a file; throws sdmpeb::Error on I/O failure.
@@ -26,6 +36,7 @@ class CsvWriter {
 
  private:
   std::vector<std::string> header_;
+  std::vector<std::pair<std::string, std::string>> metadata_;
   std::vector<std::vector<std::string>> rows_;
 };
 

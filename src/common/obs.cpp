@@ -13,6 +13,7 @@ namespace sdmpeb::obs {
 
 namespace detail {
 std::atomic<bool> g_trace_on{false};
+std::atomic<bool> g_perf_on{false};
 }  // namespace detail
 
 namespace {
@@ -42,11 +43,18 @@ LogLevel log_level_from_env() {
 
 std::atomic<int> g_log_level{static_cast<int>(log_level_from_env())};
 
-/// Resolve SDMPEB_TRACE once at load time so trace_enabled() is a pure
-/// atomic read afterwards.
+/// Resolve SDMPEB_TRACE / SDMPEB_PERF once at load time so the enablement
+/// checks are pure atomic reads afterwards. SDMPEB_PERF=off and =0 mean
+/// disabled; any other non-empty value arms counter sampling (the tier
+/// itself — hw vs sw vs unavailable — is perfmon's concern).
 const bool g_trace_env_resolved = [] {
   detail::g_trace_on.store(env_flag("SDMPEB_TRACE"),
                            std::memory_order_relaxed);
+  const char* perf = std::getenv("SDMPEB_PERF");
+  detail::g_perf_on.store(
+      perf && *perf != '\0' && std::strcmp(perf, "0") != 0 &&
+          std::strcmp(perf, "off") != 0,
+      std::memory_order_relaxed);
   return true;
 }();
 
@@ -67,6 +75,8 @@ struct SpanEvent {
   std::int64_t arg;
   std::uint64_t begin_ns;
   std::uint64_t end_ns;
+  std::uint64_t perf[perfmon::kMaxCounters];  ///< counter deltas
+  std::uint8_t perf_count;                    ///< 0 = no counters sampled
 };
 
 /// One thread's span buffer. Only the owning thread writes; `count` is the
@@ -133,6 +143,10 @@ void set_trace_enabled(bool on) {
   detail::g_trace_on.store(on, std::memory_order_relaxed);
 }
 
+void set_perf_spans_enabled(bool on) {
+  detail::g_perf_on.store(on, std::memory_order_relaxed);
+}
+
 bool chunk_spans_enabled() {
   static const bool enabled = env_flag("SDMPEB_TRACE_CHUNKS");
   return enabled;
@@ -156,18 +170,33 @@ void ScopedSpan::begin(const char* name, const char* arg_name,
   name_ = name;
   arg_name_ = arg_name;
   arg_ = arg;
+  // Counters before the clock so the counter window brackets the timed
+  // window (sample() is a read() syscall, ~1 µs, paid only under
+  // SDMPEB_PERF; sample() returning false degrades to wall-clock only).
+  if (perf_spans_enabled()) has_perf_ = perfmon::sample(perf0_);
   t0_ns_ = now_ns();
 }
 
 void ScopedSpan::end() {
   const std::uint64_t t1 = now_ns();
+  SpanEvent e{name_, arg_name_, arg_, t0_ns_, t1, {}, 0};
+  if (has_perf_) {
+    perfmon::Sample p1;
+    if (perfmon::sample(p1)) {
+      perfmon::Sample d;
+      perfmon::delta(perf0_, p1, d);
+      const int n = perfmon::counter_count();
+      for (int i = 0; i < n; ++i) e.perf[i] = d.v[i];
+      e.perf_count = static_cast<std::uint8_t>(n);
+    }
+  }
   ThreadLog& log = local_log();
   const std::size_t n = log.count.load(std::memory_order_relaxed);
   if (n >= log.events.size()) {
     log.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  log.events[n] = SpanEvent{name_, arg_name_, arg_, t0_ns_, t1};
+  log.events[n] = e;
   // Publish: readers that acquire `count` see the slot contents.
   log.count.store(n + 1, std::memory_order_release);
 }
@@ -188,6 +217,8 @@ std::vector<SpanRecord> collect_spans() {
       r.thread_name = log->name;
       if (e.arg_name) r.arg_name = e.arg_name;
       r.arg = e.arg;
+      r.perf_count = e.perf_count;
+      for (int k = 0; k < e.perf_count; ++k) r.perf[k] = e.perf[k];
       records.push_back(std::move(r));
     }
   }

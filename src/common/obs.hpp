@@ -21,6 +21,9 @@
 //   SDMPEB_TRACE=1           enable span + metric recording
 //   SDMPEB_TRACE_CHUNKS=1    also record one span per worker-pool chunk
 //   SDMPEB_TRACE_CAPACITY=N  per-thread span buffer capacity (default 65536)
+//   SDMPEB_PERF=1|hw|sw      annotate spans with perf_event counter deltas
+//                            (common/perfmon.hpp; degrades to wall-clock
+//                            when perf_event_open is unavailable)
 //   SDMPEB_LOG_LEVEL=error|warn|info|debug (or 0-3, default info)
 //
 // Naming conventions: span and metric names are dotted lowercase
@@ -35,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "common/perfmon.hpp"
+
 namespace sdmpeb::obs {
 
 // ---------------------------------------------------------------------------
@@ -43,6 +48,7 @@ namespace sdmpeb::obs {
 
 namespace detail {
 extern std::atomic<bool> g_trace_on;
+extern std::atomic<bool> g_perf_on;
 }  // namespace detail
 
 /// The one branch every instrumentation site pays when tracing is off.
@@ -52,6 +58,17 @@ inline bool trace_enabled() {
 
 /// Override the SDMPEB_TRACE resolution (CLI flags, tests).
 void set_trace_enabled(bool on);
+
+/// Whether spans additionally snapshot perf_event counters (SDMPEB_PERF,
+/// or set_perf_spans_enabled). Only consulted while tracing is on; when the
+/// perfmon tier resolves to kOff the flag is harmless — sampling returns
+/// false and spans record wall-clock only, exactly as before.
+inline bool perf_spans_enabled() {
+  return detail::g_perf_on.load(std::memory_order_relaxed);
+}
+
+/// Override the SDMPEB_PERF resolution (CLI --perf flag, tests).
+void set_perf_spans_enabled(bool on);
 
 /// Whether per-chunk worker-pool spans are recorded (SDMPEB_TRACE_CHUNKS).
 /// Off by default even under SDMPEB_TRACE=1: a rigorous PEB run dispatches
@@ -95,6 +112,8 @@ class ScopedSpan {
   const char* arg_name_ = nullptr;
   std::int64_t arg_ = 0;
   std::uint64_t t0_ns_ = 0;
+  perfmon::Sample perf0_;       ///< counter snapshot at begin (when sampled)
+  bool has_perf_ = false;
 };
 
 #define SDMPEB_OBS_CAT2(a, b) a##b
@@ -113,6 +132,11 @@ struct SpanRecord {
   std::string thread_name;
   std::string arg_name;  ///< empty when the span carried no arg
   std::int64_t arg = 0;
+  /// perf_event counter deltas over the span (slot i named by
+  /// perfmon::counter_name(i)); perf_count == 0 when the span was recorded
+  /// without counters (SDMPEB_PERF off, tier kOff, or a degraded thread).
+  int perf_count = 0;
+  std::uint64_t perf[perfmon::kMaxCounters] = {};
 };
 
 /// Snapshot every recorded span across all threads (ordered by tid, then

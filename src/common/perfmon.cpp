@@ -1,0 +1,275 @@
+#include "common/perfmon.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/obs.hpp"
+
+#if defined(__linux__)
+#define SDMPEB_PERFMON_LINUX 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define SDMPEB_PERFMON_LINUX 0
+#endif
+
+namespace sdmpeb::perfmon {
+
+namespace {
+
+/// Requested tier from SDMPEB_PERF: what we *try* to open; the resolved
+/// mode is whatever tier actually opens on this kernel.
+enum class Request { kOff, kBest, kSoftwareOnly };
+
+Request request_from_env() {
+  const char* env = std::getenv("SDMPEB_PERF");
+  if (!env || *env == '\0' || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "off") == 0)
+    return Request::kOff;
+  if (std::strcmp(env, "sw") == 0) return Request::kSoftwareOnly;
+  return Request::kBest;  // "1", "hw", anything truthy
+}
+
+std::atomic<bool> g_force_open_failure{false};
+
+/// -1 = unresolved; otherwise a Mode value. Resolved once by probe().
+std::atomic<int> g_mode{-1};
+std::mutex g_probe_mutex;
+
+#if SDMPEB_PERFMON_LINUX
+
+struct EventSpec {
+  const char* name;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kHardwareSet[] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {"l1d_miss", PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {"llc_miss", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {"branch_miss", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+constexpr EventSpec kSoftwareSet[] = {
+    {"task_clock_ns", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {"page_faults", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+    {"ctx_switches", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+};
+
+int open_event(const EventSpec& spec, int group_fd) {
+  if (g_force_open_failure.load(std::memory_order_relaxed)) return -1;
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;  // free-running from open
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(__NR_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          group_fd, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// Names of the slots that opened during the probe, shared by every thread:
+/// a slot that opens on the probing thread is assumed to open on all (same
+/// kernel policy applies process-wide; a per-thread open that still fails
+/// marks just that thread as degraded).
+const EventSpec* g_active_specs[kMaxCounters] = {};
+int g_active_count = 0;
+
+/// Per-thread counter group: the leader fd reads the whole group in one
+/// syscall. Threads never share fds — perf counts per task.
+struct ThreadGroup {
+  int leader = -1;
+  int member_fds[kMaxCounters] = {-1, -1, -1, -1, -1};
+  int count = 0;
+  bool open_failed = false;
+
+  ~ThreadGroup() { close_all(); }
+
+  void close_all() {
+    for (int i = 0; i < count; ++i)
+      if (member_fds[i] >= 0) ::close(member_fds[i]);
+    leader = -1;
+    count = 0;
+    open_failed = false;
+  }
+
+  /// Open this thread's copy of the probed slot set. Slots are all-or-
+  /// nothing per thread: a partial group would silently misalign slot
+  /// indices against counter_name().
+  bool open() {
+    for (int i = 0; i < g_active_count; ++i) {
+      const int fd = open_event(*g_active_specs[i], leader);
+      if (fd < 0) {
+        close_all();
+        open_failed = true;
+        return false;
+      }
+      member_fds[count++] = fd;
+      if (leader < 0) leader = fd;
+    }
+    return count > 0;
+  }
+};
+
+thread_local ThreadGroup tl_group;
+
+/// Probe on the calling thread: which tiers open here decides the process
+/// mode. The probe group is closed immediately; per-thread groups reopen
+/// lazily on first sample().
+Mode probe_tier(const EventSpec* specs, int n) {
+  int leader = -1;
+  int opened = 0;
+  int fds[kMaxCounters];
+  for (int i = 0; i < n; ++i) {
+    const int fd = open_event(specs[i], leader);
+    if (fd < 0) {
+      if (i == 0) break;  // no leader — tier unavailable
+      continue;           // optional member missing on this machine: drop it
+    }
+    fds[opened] = fd;
+    g_active_specs[opened] = &specs[i];
+    ++opened;
+    if (leader < 0) leader = fd;
+  }
+  for (int i = 0; i < opened; ++i) ::close(fds[i]);
+  if (opened == 0) return Mode::kOff;
+  g_active_count = opened;
+  return specs == kHardwareSet ? Mode::kHardware : Mode::kSoftware;
+}
+
+Mode probe() {
+  const Request req = request_from_env();
+  if (req == Request::kOff) return Mode::kOff;
+  if (req == Request::kBest) {
+    const Mode hw = probe_tier(kHardwareSet,
+                               static_cast<int>(std::size(kHardwareSet)));
+    if (hw != Mode::kOff) return hw;
+  }
+  const Mode sw =
+      probe_tier(kSoftwareSet, static_cast<int>(std::size(kSoftwareSet)));
+  if (sw == Mode::kOff) {
+    SDMPEB_LOG(obs::LogLevel::kWarn)
+        << "perfmon: perf_event_open unavailable (container seccomp or "
+           "perf_event_paranoid?) — spans carry wall-clock only";
+  }
+  return sw;
+}
+
+#else  // !SDMPEB_PERFMON_LINUX
+
+Mode probe() { return Mode::kOff; }
+int g_active_count = 0;
+
+#endif  // SDMPEB_PERFMON_LINUX
+
+}  // namespace
+
+Mode mode() {
+  const int cached = g_mode.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<Mode>(cached);
+  std::lock_guard<std::mutex> lock(g_probe_mutex);
+  const int recheck = g_mode.load(std::memory_order_relaxed);
+  if (recheck >= 0) return static_cast<Mode>(recheck);
+  const Mode resolved = probe();
+  obs::gauge("perfmon.mode").set(static_cast<double>(resolved));
+  g_mode.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kHardware: return "hardware";
+    case Mode::kSoftware: return "software";
+    case Mode::kOff: return "off";
+  }
+  return "off";
+}
+
+int counter_count() {
+  return mode() == Mode::kOff ? 0 : g_active_count;
+}
+
+const char* counter_name(int i) {
+#if SDMPEB_PERFMON_LINUX
+  if (mode() != Mode::kOff && i >= 0 && i < g_active_count)
+    return g_active_specs[i]->name;
+#else
+  (void)i;
+#endif
+  return "";
+}
+
+bool sample(Sample& out) {
+#if SDMPEB_PERFMON_LINUX
+  if (mode() == Mode::kOff) return false;
+  if (tl_group.open_failed) return false;
+  if (tl_group.count == 0 && !tl_group.open()) {
+    static obs::Counter& degraded =
+        obs::counter("perfmon.thread_open_failures");
+    degraded.add(1);
+    return false;
+  }
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kMaxCounters];
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + static_cast<std::size_t>(tl_group.count)) * sizeof(std::uint64_t));
+  const ssize_t got = ::read(tl_group.leader, buf, sizeof(buf));
+  if (got < want) return false;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  const int n = static_cast<int>(
+      nr < static_cast<std::uint64_t>(tl_group.count) ? nr : tl_group.count);
+  // Multiplex scaling: with more groups than PMU slots the kernel rotates
+  // them; running < enabled and values must be scaled up to estimate the
+  // full-interval count. long double keeps 64-bit counts exact enough.
+  const long double scale =
+      (running > 0 && running < enabled)
+          ? static_cast<long double>(enabled) / static_cast<long double>(running)
+          : 1.0L;
+  for (int i = 0; i < n; ++i)
+    out.v[i] = static_cast<std::uint64_t>(
+        static_cast<long double>(buf[3 + i]) * scale);
+  for (int i = n; i < kMaxCounters; ++i) out.v[i] = 0;
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+void delta(const Sample& begin, const Sample& end, Sample& out) {
+  for (int i = 0; i < kMaxCounters; ++i)
+    out.v[i] = end.v[i] >= begin.v[i] ? end.v[i] - begin.v[i] : 0;
+}
+
+namespace detail {
+
+void force_open_failure_for_test(bool fail) {
+  g_force_open_failure.store(fail, std::memory_order_relaxed);
+}
+
+void reset_for_test() {
+#if SDMPEB_PERFMON_LINUX
+  tl_group.close_all();
+  g_active_count = 0;
+#endif
+  g_mode.store(-1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+}  // namespace sdmpeb::perfmon

@@ -1,0 +1,82 @@
+#pragma once
+
+// Hardware-performance-counter subsystem on perf_event_open (DESIGN.md §12).
+//
+// One counter group per thread, opened lazily on first read, measuring the
+// calling thread only (pid = 0, cpu = -1, exclude_kernel). Three tiers,
+// probed once per process in descending order and cached:
+//
+//   kHardware  cycles, instructions, L1d-read misses, LLC misses,
+//              branch misses — full IPC / cache / branch attribution.
+//   kSoftware  task-clock (ns on-CPU), page faults, context switches —
+//              VMs and containers without a PMU (perf_event_open returns
+//              ENOENT for hardware events there) still get scheduling and
+//              memory-pressure attribution.
+//   kOff       perf_event_open denied entirely (seccomp, perf_event_paranoid)
+//              or SDMPEB_PERF unset — spans carry wall-clock only. Nothing
+//              in this tier ever fails a caller: sample() returns false and
+//              the obs layer records plain spans exactly as before.
+//
+// Environment:
+//   SDMPEB_PERF=1|hw   probe hardware first, fall back down the tiers
+//   SDMPEB_PERF=sw     skip the hardware tier (forces the software set)
+//   SDMPEB_PERF=0|off  (or unset) tier kOff, no fds are ever opened
+//
+// Counters are free-running from open; a measurement is two read() calls
+// (begin/end) of the whole group, ~1 µs, paid only when SDMPEB_PERF is on.
+// Values are multiplex-scaled by time_enabled/time_running so per-span
+// deltas stay meaningful when the kernel rotates the group.
+
+#include <cstdint>
+
+namespace sdmpeb::perfmon {
+
+enum class Mode : int { kOff = 0, kSoftware = 1, kHardware = 2 };
+
+/// Fixed upper bound on counters per tier; Sample is POD so the obs span
+/// ring can embed one without allocation.
+inline constexpr int kMaxCounters = 5;
+
+struct Sample {
+  std::uint64_t v[kMaxCounters] = {0, 0, 0, 0, 0};
+};
+
+/// Process-wide tier, probed once on first call (on the calling thread) and
+/// cached. Never throws.
+Mode mode();
+
+const char* mode_name(Mode mode);
+
+/// Number of live counter slots for the resolved tier (0 when kOff). Slots
+/// that fail to open on a given machine are dropped, so this can be less
+/// than the tier's nominal set.
+int counter_count();
+
+/// Slot name for trace/metrics export: "cycles", "instructions", "l1d_miss",
+/// "llc_miss", "branch_miss" (hardware) or "task_clock_ns", "page_faults",
+/// "ctx_switches" (software). Returns "" for out-of-range slots.
+const char* counter_name(int i);
+
+/// Read the calling thread's counter group into `out` (opens this thread's
+/// fds on first use). Returns false — leaving `out` untouched — when the
+/// tier is kOff or this thread's open failed; callers degrade to wall clock.
+bool sample(Sample& out);
+
+/// out = end - begin per slot, clamped at 0 (a counter that went backwards
+/// — possible across multiplex rescale rounding — never yields a huge
+/// wrapped delta).
+void delta(const Sample& begin, const Sample& end, Sample& out);
+
+namespace detail {
+/// Test hook: force every subsequent perf_event_open to fail as if the
+/// kernel denied it (EACCES), exercising the kOff degradation path without
+/// needing a locked-down container. Affects only fds opened after the call.
+void force_open_failure_for_test(bool fail);
+
+/// Test hook: drop the cached tier and close the calling thread's fds so
+/// the next mode()/sample() re-probes under the current env and failure
+/// hook. Only safe when no other thread is concurrently sampling.
+void reset_for_test();
+}  // namespace detail
+
+}  // namespace sdmpeb::perfmon

@@ -459,7 +459,8 @@ Value conv2d_per_depth(const Value& x, const Value& w, const Value& bias,
 
   Tensor out(Shape{dims.cout, dims.depth, dims.hout, dims.wout});
   {
-    SDMPEB_SPAN("conv2d", "out_elems", out.numel());
+    SDMPEB_SPAN("conv2d", "flops",
+                2 * out.numel() * dims.cin * dims.kh * dims.kw);
     note_conv_dispatch(use_gemm(), dims.depth * dims.cin * dims.kh *
                                        dims.kw * dims.hout * dims.wout);
     const float* pb = bias ? bias->value().raw() : nullptr;
@@ -675,7 +676,9 @@ Value conv_transpose2d_per_depth(const Value& x, const Value& w,
 
   Tensor out(Shape{dims.cout, dims.depth, dims.hout, dims.wout});
   {
-    SDMPEB_SPAN("convt2d", "out_elems", out.numel());
+    SDMPEB_SPAN("convt2d", "flops",
+                2 * dims.depth * dims.cin * dims.cout * dims.kh * dims.kw *
+                    dims.hin * dims.win);
     note_conv_dispatch(use_gemm(), dims.depth * dims.cout * dims.kh *
                                        dims.kw * dims.hin * dims.win);
     float* po = out.raw();
@@ -941,7 +944,8 @@ Value conv3d(const Value& x, const Value& w, const Value& bias,
 
   Tensor out(Shape{dims.cout, dims.dout, dims.hout, dims.wout});
   {
-    SDMPEB_SPAN("conv3d", "out_elems", out.numel());
+    SDMPEB_SPAN("conv3d", "flops",
+                2 * out.numel() * dims.cin * dims.kd * dims.kh * dims.kw);
     note_conv_dispatch(use_gemm(), dims.cin * dims.kd * dims.kh * dims.kw *
                                        dims.dout * dims.hout * dims.wout);
     const float* pb = bias ? bias->value().raw() : nullptr;
@@ -1003,7 +1007,7 @@ Value dwconv3d(const Value& x, const Value& w, const Value& bias,
 
   Tensor out(Shape{channels, dout, hout, wout});
   {
-    SDMPEB_SPAN("dwconv3d", "out_elems", out.numel());
+    SDMPEB_SPAN("dwconv3d", "flops", 2 * out.numel() * kd * kh * kw);
     note_conv_dispatch(false, 0);
     const float* px = xv.raw();
     const float* pw = wv.raw();
@@ -1125,7 +1129,7 @@ Value dwconv1d_seq(const Value& x, const Value& w, const Value& bias) {
 
   Tensor out(Shape{rows, cols});
   {
-    SDMPEB_SPAN("dwconv1d", "out_elems", out.numel());
+    SDMPEB_SPAN("dwconv1d", "flops", 2 * out.numel() * kernel);
     note_conv_dispatch(false, 0);
     const float* px = xv.raw();
     const float* pw = wv.raw();

@@ -32,7 +32,11 @@ PebState PebSolver::initial_state(const Grid3& acid0) const {
 }
 
 void PebSolver::reaction_half_step(PebState& state, double dt) const {
-  SDMPEB_SPAN("peb.reaction");
+  // ~12 flops/voxel (two exp ~ amortised as 4 each plus the rational
+  // update); coarse but stable, so gflops attribution stays comparable
+  // across runs.
+  SDMPEB_SPAN("peb.reaction", "flops",
+              12 * static_cast<std::int64_t>(state.acid.data().size()));
   const double kr = params_.reaction_coeff;
   const double kc = params_.catalysis_coeff;
   auto acid = state.acid.data();

@@ -135,6 +135,26 @@ TEST(Csv, RejectsMismatchedRowWidth) {
   EXPECT_THROW(csv.add_row({"only-one"}), Error);
 }
 
+TEST(Csv, MetadataRendersAsCommentLinesBeforeHeader) {
+  CsvWriter csv({"a"});
+  csv.add_metadata("source", "unit-test");
+  csv.add_metadata("rev", "42");
+  csv.add_row({"1"});
+  EXPECT_EQ(csv.to_string(), "# source=unit-test\n# rev=42\na\n1\n");
+}
+
+TEST(Csv, BuildMetadataRecordsShaAndFlags) {
+  CsvWriter csv({"a"});
+  csv.add_build_metadata();
+  const auto text = csv.to_string();
+  // Values are machine-specific; the keys and ordering are the contract.
+  EXPECT_EQ(text.rfind("# git_sha=", 0), 0u);
+  EXPECT_NE(text.find("\n# build_type="), std::string::npos);
+  EXPECT_NE(text.find("\n# build_flags="), std::string::npos);
+  // The header line still follows the comments.
+  EXPECT_NE(text.find("\na\n"), std::string::npos);
+}
+
 TEST(Timer, ReportsNonNegativeMonotonicTime) {
   Timer t;
   const double first = t.seconds();

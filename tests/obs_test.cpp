@@ -8,8 +8,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -36,6 +40,8 @@ class ObsTest : public ::testing::Test {
     obs::reset_metrics();
   }
   void TearDown() override {
+    obs::stop_periodic_flush();
+    obs::set_perf_spans_enabled(false);
     obs::set_trace_enabled(false);
     obs::clear_spans();
     obs::reset_metrics();
@@ -74,49 +80,56 @@ TEST_F(ObsTest, SpansFromPoolThreadsCarryThreadIdentity) {
   const int previous = parallel::thread_count();
   parallel::set_thread_count(4);
   obs::set_thread_name("obs-test-main");
-  // On a loaded or single-core host the caller can occasionally drain all 64
-  // chunks before any pool worker wakes, so a single attempt is a scheduling
-  // coin-flip. Retry until at least two distinct threads (one of them a pool
-  // worker) have recorded spans; every attempt still checks the invariants
-  // that do not depend on scheduling.
+  obs::set_trace_enabled(true);
+
+  // Deterministic rendezvous instead of a scheduling lottery: the first
+  // chunk each thread runs blocks until a SECOND distinct thread has also
+  // arrived. On a single-core host the blocked caller yields the CPU, a
+  // pool worker gets scheduled, takes one of the remaining chunks and
+  // releases everyone — so at least two threads are guaranteed to record
+  // spans. Deadlock-free: chunks are claimed one at a time from a shared
+  // cursor, so a blocked thread never holds more than the chunk it is in.
+  // The timeout is a CI-hang safety net, not an expected path.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::set<std::thread::id> arrived;
+  std::atomic<int> chunks{0};
+  parallel::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    SDMPEB_SPAN("test.pool_work", "begin", b);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      arrived.insert(std::this_thread::get_id());
+      cv.notify_all();
+      cv.wait_for(lock, std::chrono::seconds(30),
+                  [&] { return arrived.size() >= 2; });
+    }
+    chunks.fetch_add(static_cast<int>(e - b));
+  });
+  obs::set_trace_enabled(false);
+  EXPECT_GE(arrived.size(), 2u);
+  EXPECT_EQ(static_cast<int>(chunks.load()), 64);
+
+  const auto spans = obs::collect_spans();
   std::set<int> tids;
   std::set<std::string> names;
   std::size_t pool_work = 0;
-  for (int attempt = 0; attempt < 50; ++attempt) {
-    obs::set_trace_enabled(true);
-    std::atomic<int> chunks{0};
-    parallel::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
-      SDMPEB_SPAN("test.pool_work", "begin", b);
-      volatile int sink = 0;
-      for (int i = 0; i < 20000; ++i) sink = sink + i;
-      chunks.fetch_add(static_cast<int>(e - b));
-    });
-    obs::set_trace_enabled(false);
-
-    const auto spans = obs::collect_spans();
-    for (const auto& s : spans) {
-      if (s.name != "test.pool_work") continue;
-      ++pool_work;
-      tids.insert(s.tid);
-      names.insert(s.thread_name);
-      // Chunks run either on the caller or on a named pool worker.
-      EXPECT_TRUE(s.thread_name == "obs-test-main" ||
-                  s.thread_name.rfind("pool-worker-", 0) == 0)
-          << s.thread_name;
-    }
-    EXPECT_EQ(static_cast<int>(chunks.load()), 64);
-    // collect_spans orders by tid: verify the grouping is monotonic.
-    for (std::size_t i = 1; i < spans.size(); ++i)
-      EXPECT_LE(spans[i - 1].tid, spans[i].tid);
-
-    bool worker_seen = false;
-    for (const auto& n : names)
-      if (n.rfind("pool-worker-", 0) == 0) worker_seen = true;
-    if (tids.size() >= 2 && worker_seen) break;
+  for (const auto& s : spans) {
+    if (s.name != "test.pool_work") continue;
+    ++pool_work;
+    tids.insert(s.tid);
+    names.insert(s.thread_name);
+    // Chunks run either on the caller or on a named pool worker.
+    EXPECT_TRUE(s.thread_name == "obs-test-main" ||
+                s.thread_name.rfind("pool-worker-", 0) == 0)
+        << s.thread_name;
   }
-  EXPECT_GE(pool_work, 1u);
-  // Across attempts: at least two distinct threads record, and at least one
-  // of them is a pool worker.
+  EXPECT_EQ(pool_work, 64u);
+  // collect_spans orders by tid: verify the grouping is monotonic.
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_LE(spans[i - 1].tid, spans[i].tid);
+
+  // The rendezvous guarantees two distinct threads, one of them a pool
+  // worker (the caller can be at most one of the two).
   EXPECT_GE(tids.size(), 2u);
   bool saw_worker = false;
   for (const auto& n : names)
@@ -267,7 +280,16 @@ TEST_F(ObsTest, MetricsCsvAndJsonContainRegisteredMetrics) {
   std::ostringstream csv;
   obs::write_metrics_csv(csv);
   const std::string csv_text = csv.str();
-  EXPECT_EQ(csv_text.rfind("name,kind,value,count,sum", 0), 0u);
+  // Build-provenance comment lines precede the column header; every line
+  // before it must be a `# key=value` comment.
+  const auto header_pos = csv_text.find("name,kind,value,count,sum");
+  ASSERT_NE(header_pos, std::string::npos);
+  EXPECT_NE(csv_text.find("# git_sha="), std::string::npos);
+  EXPECT_NE(csv_text.find("# build_flags="), std::string::npos);
+  std::istringstream preamble(csv_text.substr(0, header_pos));
+  std::string line;
+  while (std::getline(preamble, line))
+    EXPECT_EQ(line.rfind("# ", 0), 0u) << line;
   EXPECT_NE(csv_text.find("test.csv_counter,counter,3"), std::string::npos);
   EXPECT_NE(csv_text.find("test.csv_gauge,gauge,"), std::string::npos);
   EXPECT_NE(csv_text.find("test.csv_hist,histogram_le_"), std::string::npos);
@@ -279,6 +301,112 @@ TEST_F(ObsTest, MetricsCsvAndJsonContainRegisteredMetrics) {
   EXPECT_NE(json.find("\"test.csv_counter\""), std::string::npos);
   EXPECT_NE(json.find("\"test.csv_hist\""), std::string::npos);
   EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Metrics registry hammered from the worker pool while another thread
+// snapshots mid-flight: snapshots must always be structurally valid (the
+// registry's node map is mutex-guarded, values are atomics), and the final
+// totals exact once the writers join.
+TEST_F(ObsTest, MetricsSurviveConcurrentWritersAndMidFlightSnapshots) {
+  const int previous = parallel::thread_count();
+  parallel::set_thread_count(4);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> snapshots{0};
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      std::ostringstream csv;
+      obs::write_metrics_csv(csv);
+      std::ostringstream js;
+      obs::write_metrics_json(js);
+      std::ostringstream prom;
+      obs::write_metrics_prometheus(prom);
+      check_balanced_json(js.str());
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  constexpr std::int64_t kChunks = 256;
+  constexpr int kAddsPerChunk = 200;
+  parallel::parallel_for(0, kChunks, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t chunk = b; chunk < e; ++chunk) {
+      // counter() / histogram() on every iteration also hammers the
+      // registry lookup path, not just the atomics behind it.
+      obs::Counter& c = obs::counter("test.hammer_counter");
+      obs::Histogram& h = obs::histogram("test.hammer_hist", {8.0, 64.0});
+      obs::Gauge& g = obs::gauge("test.hammer_gauge");
+      for (int i = 0; i < kAddsPerChunk; ++i) {
+        c.add(1);
+        h.add(static_cast<double>((chunk + i) % 100));
+        g.update_max(static_cast<double>(chunk));
+      }
+    }
+  });
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  EXPECT_GE(snapshots.load(), 1);
+  EXPECT_EQ(obs::counter("test.hammer_counter").value(),
+            static_cast<std::uint64_t>(kChunks) * kAddsPerChunk);
+  obs::Histogram& h = obs::histogram("test.hammer_hist", {8.0, 64.0});
+  EXPECT_EQ(h.total_count(), static_cast<std::uint64_t>(kChunks) * kAddsPerChunk);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.bucket_size(); ++i)
+    bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.total_count());
+  EXPECT_DOUBLE_EQ(obs::gauge("test.hammer_gauge").value(),
+                   static_cast<double>(kChunks - 1));
+  parallel::set_thread_count(previous);
+}
+
+TEST_F(ObsTest, PeriodicFlushWritesPrometheusAndJsonlSnapshots) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("sdmpeb_flush_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  obs::counter("test.flush_counter").add(7);
+  obs::PeriodicFlushOptions options;
+  options.dir = dir.string();
+  options.interval_s = 0.02;
+  ASSERT_TRUE(obs::start_periodic_flush(options));
+  EXPECT_TRUE(obs::periodic_flush_running());
+  EXPECT_FALSE(obs::start_periodic_flush(options));  // already running
+
+  // Wait for at least two snapshots so the jsonl file is a real series.
+  for (int i = 0; i < 500 && obs::periodic_flush_count() < 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  obs::counter("test.flush_counter").add(1);
+  obs::stop_periodic_flush();  // final flush picks up the last add
+  EXPECT_FALSE(obs::periodic_flush_running());
+  ASSERT_GE(obs::periodic_flush_count(), 2u);
+
+  const std::string prom = read_file_bytes((dir / "metrics.prom").string());
+  EXPECT_NE(prom.find("# TYPE sdmpeb_test_flush_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sdmpeb_test_flush_counter 8"), std::string::npos);
+
+  const std::string jsonl = read_file_bytes((dir / "metrics.jsonl").string());
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    check_balanced_json(line);
+    EXPECT_EQ(line.rfind("{\"t_s\":", 0), 0u) << line;
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"metrics\":"), std::string::npos);
+    ++rows;
+  }
+  EXPECT_EQ(rows, obs::periodic_flush_count());
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ObsTest, DisabledSpanOverheadIsNegligible) {
@@ -299,14 +427,6 @@ TEST_F(ObsTest, DisabledSpanOverheadIsNegligible) {
 // tracing off and on yields byte-identical checkpoints.
 // ---------------------------------------------------------------------------
 
-std::string read_file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.good()) << path;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
 TEST_F(ObsTest, TracingDoesNotChangeTrainingNumerics) {
   const auto dir = std::filesystem::temp_directory_path() /
                    ("sdmpeb_obs_test_" + std::to_string(::getpid()));
@@ -314,6 +434,16 @@ TEST_F(ObsTest, TracingDoesNotChangeTrainingNumerics) {
 
   const auto train_once = [&](bool traced, const std::string& name) {
     obs::set_trace_enabled(traced);
+    // The traced run also exercises the full observability surface: perf
+    // counter sampling around every span and the periodic background
+    // flusher. Neither may perturb training numerics.
+    obs::set_perf_spans_enabled(traced);
+    if (traced) {
+      obs::PeriodicFlushOptions options;
+      options.dir = (dir / "flush").string();
+      options.interval_s = 0.01;
+      obs::start_periodic_flush(options);
+    }
     Rng rng(16);
     core::SdmPebModel model(core::SdmPebConfig::tiny(), rng);
     std::vector<core::TrainSample> data;
@@ -329,6 +459,8 @@ TEST_F(ObsTest, TracingDoesNotChangeTrainingNumerics) {
     config.grad_clip_norm = 1.0f;  // exercises the grad-norm metric path
     Rng train_rng(17);
     core::train_model(model, data, config, train_rng);
+    obs::stop_periodic_flush();
+    obs::set_perf_spans_enabled(false);
     obs::set_trace_enabled(false);
     const auto path = (dir / name).string();
     nn::save_parameters(model, path);

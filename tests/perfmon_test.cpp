@@ -1,0 +1,168 @@
+// Tests for the perf_event_open counter subsystem (common/perfmon.hpp):
+// tier resolution under the SDMPEB_PERF env, the forced-denial degradation
+// path (spans must still be emitted, nothing crashes), delta clamping, and
+// counter sanity on machines where perf_event_open actually works. The
+// suite must pass identically on hosts with a PMU, in containers that only
+// allow software events, and under seccomp that denies the syscall
+// entirely — so nothing here asserts a specific tier unless it forces one.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/obs.hpp"
+#include "common/perfmon.hpp"
+#include "common/trace_export.hpp"
+
+namespace sdmpeb {
+namespace {
+
+/// Each test re-resolves the tier under its own env and leaves the process
+/// back at the default (SDMPEB_PERF unset -> kOff, hook cleared).
+class PerfmonTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override {
+    unsetenv("SDMPEB_PERF");
+    perfmon::detail::force_open_failure_for_test(false);
+    reset();
+    obs::set_perf_spans_enabled(false);
+    obs::set_trace_enabled(false);
+    obs::clear_spans();
+    obs::reset_metrics();
+  }
+  void reset() { perfmon::detail::reset_for_test(); }
+};
+
+TEST_F(PerfmonTest, UnsetEnvResolvesToOff) {
+  unsetenv("SDMPEB_PERF");
+  reset();
+  EXPECT_EQ(perfmon::mode(), perfmon::Mode::kOff);
+  EXPECT_EQ(perfmon::counter_count(), 0);
+  perfmon::Sample sample;
+  EXPECT_FALSE(perfmon::sample(sample));
+}
+
+TEST_F(PerfmonTest, ExplicitOffNeverOpensCounters) {
+  setenv("SDMPEB_PERF", "off", 1);
+  reset();
+  EXPECT_EQ(perfmon::mode(), perfmon::Mode::kOff);
+  perfmon::Sample sample;
+  EXPECT_FALSE(perfmon::sample(sample));
+}
+
+TEST_F(PerfmonTest, RequestedCountersResolveToSomeTierWithoutCrashing) {
+  setenv("SDMPEB_PERF", "1", 1);
+  reset();
+  const perfmon::Mode mode = perfmon::mode();
+  // Whatever the host allows is fine; the contract is a clean resolution.
+  EXPECT_EQ(std::string(perfmon::mode_name(mode)).empty(), false);
+  if (mode == perfmon::Mode::kOff) {
+    EXPECT_EQ(perfmon::counter_count(), 0);
+  } else {
+    EXPECT_GE(perfmon::counter_count(), 1);
+    EXPECT_LE(perfmon::counter_count(), perfmon::kMaxCounters);
+    for (int i = 0; i < perfmon::counter_count(); ++i)
+      EXPECT_STRNE(perfmon::counter_name(i), "");
+  }
+}
+
+TEST_F(PerfmonTest, ForcedOpenFailureDegradesToOff) {
+  setenv("SDMPEB_PERF", "1", 1);
+  perfmon::detail::force_open_failure_for_test(true);
+  reset();
+  // Every perf_event_open fails as if the kernel denied it: the probe must
+  // degrade to kOff without crashing or throwing.
+  EXPECT_EQ(perfmon::mode(), perfmon::Mode::kOff);
+  EXPECT_EQ(perfmon::counter_count(), 0);
+  perfmon::Sample sample;
+  EXPECT_FALSE(perfmon::sample(sample));
+}
+
+TEST_F(PerfmonTest, SpansStillEmittedWhenCountersDenied) {
+  setenv("SDMPEB_PERF", "1", 1);
+  perfmon::detail::force_open_failure_for_test(true);
+  reset();
+  ASSERT_EQ(perfmon::mode(), perfmon::Mode::kOff);
+
+  obs::set_trace_enabled(true);
+  obs::set_perf_spans_enabled(true);
+  {
+    SDMPEB_SPAN("test.denied_counters", "items", 5);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  obs::set_perf_spans_enabled(false);
+  obs::set_trace_enabled(false);
+
+  const auto spans = obs::collect_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.denied_counters");
+  EXPECT_EQ(spans[0].perf_count, 0);  // wall-clock only, no counter slots
+  EXPECT_GE(spans[0].end_ns, spans[0].begin_ns);
+}
+
+TEST_F(PerfmonTest, CounterAnnotatedSpansWhenAvailable) {
+  setenv("SDMPEB_PERF", "1", 1);
+  reset();
+  if (perfmon::mode() == perfmon::Mode::kOff)
+    GTEST_SKIP() << "perf_event_open unavailable on this host";
+
+  obs::set_trace_enabled(true);
+  obs::set_perf_spans_enabled(true);
+  {
+    SDMPEB_SPAN("test.counted");
+    volatile double acc = 1.0;
+    for (int i = 0; i < 200000; ++i) acc = acc * 1.0000001 + 0.5;
+  }
+  obs::set_perf_spans_enabled(false);
+  obs::set_trace_enabled(false);
+
+  const auto spans = obs::collect_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].perf_count, perfmon::counter_count());
+  // Slot 0 (cycles or task_clock_ns) must have advanced over a 200k-iter
+  // FP loop on any tier.
+  EXPECT_GT(spans[0].perf[0], 0u);
+
+  // The Chrome export annotates the span's args with the counters and no
+  // non-finite derived values.
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find(std::string("\"") + perfmon::counter_name(0) + "\":"),
+            std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST_F(PerfmonTest, DeltaClampsBackwardsCounters) {
+  perfmon::Sample begin, end, diff;
+  for (int i = 0; i < perfmon::kMaxCounters; ++i) {
+    begin.v[i] = 100;
+    end.v[i] = (i % 2) ? 250 : 40;  // odd slots advance, even slots regress
+  }
+  perfmon::delta(begin, end, diff);
+  for (int i = 0; i < perfmon::kMaxCounters; ++i)
+    EXPECT_EQ(diff.v[i], (i % 2) ? 150u : 0u) << "slot " << i;
+}
+
+TEST_F(PerfmonTest, SampleIsRepeatableAndMonotonicWithinThread) {
+  setenv("SDMPEB_PERF", "1", 1);
+  reset();
+  if (perfmon::mode() == perfmon::Mode::kOff)
+    GTEST_SKIP() << "perf_event_open unavailable on this host";
+
+  perfmon::Sample a, b, d;
+  ASSERT_TRUE(perfmon::sample(a));
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  ASSERT_TRUE(perfmon::sample(b));
+  perfmon::delta(a, b, d);
+  EXPECT_GT(d.v[0], 0u);
+}
+
+}  // namespace
+}  // namespace sdmpeb

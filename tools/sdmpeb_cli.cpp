@@ -183,6 +183,12 @@ void print_usage() {
       "  common:   --clips N --seed S --bake-seconds T\n"
       "            --trace PATH   (enable tracing, write Chrome trace JSON)\n"
       "            --metrics PATH (write metrics CSV; implies tracing)\n"
+      "            --perf 1       (sample perf counters per span; implies\n"
+      "                            tracing; tier via SDMPEB_PERF)\n"
+      "            --flush-every SECS (periodic metrics.prom/.jsonl "
+      "snapshots)\n"
+      "            --flush-dir DIR    (flush output dir, default "
+      "bench_out)\n"
       "            SDMPEB_TRACE=1 enables tracing with default output paths\n"
       "  simulate: --out DIR\n"
       "  train:    --model sdm|deepcnn|tempo|fno|deepeb --epochs E "
@@ -198,7 +204,10 @@ void print_usage() {
 }
 
 /// Resolve observability outputs: --trace/--metrics force tracing on;
-/// SDMPEB_TRACE=1 alone uses default paths under bench_out/.
+/// SDMPEB_TRACE=1 alone uses default paths under bench_out/. --perf 1
+/// additionally samples hardware counters around every span (implies
+/// tracing); --flush-every SECS starts the periodic Prometheus/JSONL
+/// flusher for long runs (--flush-dir overrides its output directory).
 struct ObsConfig {
   bool enabled = false;
   std::string trace_path;
@@ -209,6 +218,15 @@ ObsConfig resolve_obs(const CliArgs& args) {
   ObsConfig cfg;
   cfg.trace_path = args.get("trace", "");
   cfg.metrics_path = args.get("metrics", "");
+  const std::string perf = args.get("perf", "");
+  if (!perf.empty() && perf != "0" && perf != "off") {
+    // The perfmon tier is resolved from SDMPEB_PERF on first sample; when
+    // the flag is given without the env var, request the default tier
+    // before anything probes (mode() caches its first resolution).
+    setenv("SDMPEB_PERF", perf.c_str(), /*overwrite=*/0);
+    obs::set_perf_spans_enabled(true);
+    obs::set_trace_enabled(true);  // counters ride on spans
+  }
   if (!cfg.trace_path.empty() || !cfg.metrics_path.empty())
     obs::set_trace_enabled(true);
   cfg.enabled = obs::trace_enabled();
@@ -216,10 +234,21 @@ ObsConfig resolve_obs(const CliArgs& args) {
     cfg.trace_path = "bench_out/trace.json";
   if (cfg.enabled && cfg.metrics_path.empty())
     cfg.metrics_path = "bench_out/metrics.csv";
+
+  const double flush_every = std::atof(args.get("flush-every", "0").c_str());
+  if (flush_every > 0.0) {
+    obs::PeriodicFlushOptions options;
+    options.dir = args.get("flush-dir", "bench_out");
+    options.interval_s = flush_every;
+    obs::start_periodic_flush(options);
+  }
   return cfg;
 }
 
 void dump_obs(const ObsConfig& cfg) {
+  // Stop the flusher before the final dump so the last snapshot and the
+  // dump see the same registry state.
+  obs::stop_periodic_flush();
   if (!cfg.enabled) return;
   obs::refresh_derived_metrics();
   const auto parent = std::filesystem::path(cfg.trace_path).parent_path();
