@@ -1,0 +1,293 @@
+// Open-loop load generator for the serving runtime (DESIGN.md §13).
+//
+// Drives a ServeRuntime over a tiny frozen SDM model through two phases:
+// "nominal" (offered load well under capacity — latency should be flat and
+// nothing sheds) and "overload" (offered load several times capacity — the
+// bounded queue must reject, deadlines must expire, and the degradation
+// state machine must shed instead of letting latency grow without bound).
+// Open-loop means producers submit on a fixed clock regardless of
+// completions, so queue pressure is real rather than self-throttled.
+//
+// Per phase it reports p50/p99 end-to-end latency, completed clips/sec,
+// peak queue depth, and the shed rate — mirrored into the obs registry as
+// bench.serve.<phase>.* gauges and written to <out>/serve_report.json with
+// the same build provenance header as bench_report (schema
+// "sdmpeb-serve-bench/1", consumed as an opaque artifact by CI).
+//
+// Usage: bench_serve [--out DIR] [--phase-seconds S] [--producers N]
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report_json.hpp"
+#include "common/atomic_file.hpp"
+#include "common/build_info.hpp"
+#include "common/error.hpp"
+#include "common/obs.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "nn/serialize.hpp"
+#include "serve/frozen_model.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace sdmpeb;
+
+struct PhaseReport {
+  std::string name;
+  double offered_cps = 0.0;   ///< open-loop submit rate, clips/sec
+  double duration_s = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double clips_per_sec = 0.0;  ///< completed / wall
+  std::int64_t queue_depth_peak = 0;
+  double shed_rate = 0.0;  ///< (expired + shed) / accepted
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+/// Submit on a fixed clock from `producers` threads for `seconds`, then
+/// drain and summarise. Latencies are taken from kOk responses only (a shed
+/// response's latency measures the shedder, not the service).
+PhaseReport run_phase(const serve::FrozenModel& model, const std::string& name,
+                      double offered_cps, double seconds, int producers) {
+  serve::ServeConfig config;
+  config.queue_capacity = 32;
+  config.max_batch = 4;
+  config.max_wait_ms = 2.0;
+  config.default_deadline_ms = 500.0;
+  serve::ServeRuntime runtime(model, config);
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::uint64_t rejected = 0;
+
+  const Tensor acid = Tensor::full(model.input_shape(), 0.25f);
+  const auto period = std::chrono::duration<double>(
+      static_cast<double>(producers) / offered_cps);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t_end = t0 + std::chrono::duration<double>(seconds);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      obs::set_thread_name("bench_serve.producer" + std::to_string(p));
+      std::uint64_t id = static_cast<std::uint64_t>(p) << 32;
+      auto next = t0;
+      while (true) {
+        next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            period);
+        if (next >= t_end) break;
+        std::this_thread::sleep_until(next);
+        serve::Request req;
+        req.id = ++id;
+        req.priority = static_cast<std::int32_t>(id % 4);
+        req.acid = acid;
+        const auto verdict =
+            runtime.submit(std::move(req), [&](serve::Response resp) {
+              if (resp.status != serve::Status::kOk) return;
+              std::lock_guard<std::mutex> lock(mu);
+              latencies.push_back(resp.total_ms);
+            });
+        if (!verdict.accepted) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  runtime.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto stats = runtime.stats();
+  PhaseReport report;
+  report.name = name;
+  report.offered_cps = offered_cps;
+  report.duration_s = wall_s;
+  report.submitted = stats.submitted;
+  report.completed = stats.completed;
+  report.rejected = rejected;
+  report.expired = stats.expired;
+  report.shed = stats.shed;
+  report.p50_ms = percentile(latencies, 0.50);
+  report.p99_ms = percentile(latencies, 0.99);
+  report.clips_per_sec = wall_s > 0.0
+                             ? static_cast<double>(stats.completed) / wall_s
+                             : 0.0;
+  report.queue_depth_peak = stats.queue_depth_peak;
+  report.shed_rate = stats.accepted > 0
+                         ? static_cast<double>(stats.shed) /
+                               static_cast<double>(stats.accepted)
+                         : 0.0;
+
+  obs::gauge("bench.serve." + name + ".p50_ms").set(report.p50_ms);
+  obs::gauge("bench.serve." + name + ".p99_ms").set(report.p99_ms);
+  obs::gauge("bench.serve." + name + ".clips_per_sec")
+      .set(report.clips_per_sec);
+  obs::gauge("bench.serve." + name + ".queue_depth_peak")
+      .set(static_cast<double>(report.queue_depth_peak));
+  obs::gauge("bench.serve." + name + ".shed_rate").set(report.shed_rate);
+  return report;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void save_report(const std::string& path,
+                 const std::vector<PhaseReport>& phases, int producers) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"sdmpeb-serve-bench/1\",\n";
+  out += "  \"git_sha\": " + quoted(build::git_sha()) + ",\n";
+  out += "  \"build_type\": " + quoted(build::build_type()) + ",\n";
+  out += "  \"build_flags\": " + quoted(build::build_flags()) + ",\n";
+  out += "  \"backend\": " + quoted(simd::isa_name(simd::active())) + ",\n";
+  out += "  \"machine_fingerprint\": " +
+         quoted(bench::machine_fingerprint()) + ",\n";
+  out += "  \"producers\": " + std::to_string(producers) + ",\n";
+  out += "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseReport& ph = phases[i];
+    out += "    {\"name\": " + quoted(ph.name);
+    out += ", \"offered_clips_per_sec\": " + num(ph.offered_cps);
+    out += ", \"duration_s\": " + num(ph.duration_s);
+    out += ", \"submitted\": " + std::to_string(ph.submitted);
+    out += ", \"completed\": " + std::to_string(ph.completed);
+    out += ", \"rejected\": " + std::to_string(ph.rejected);
+    out += ", \"expired\": " + std::to_string(ph.expired);
+    out += ", \"shed\": " + std::to_string(ph.shed);
+    out += ", \"p50_ms\": " + num(ph.p50_ms);
+    out += ", \"p99_ms\": " + num(ph.p99_ms);
+    out += ", \"clips_per_sec\": " + num(ph.clips_per_sec);
+    out += ", \"queue_depth_peak\": " + std::to_string(ph.queue_depth_peak);
+    out += ", \"shed_rate\": " + num(ph.shed_rate) + "}";
+    if (i + 1 < phases.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  atomic_write_file(path, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = "bench_out";
+  double phase_seconds = 5.0;
+  int producers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--out" && has_value) {
+      out_dir = argv[++i];
+    } else if (arg == "--phase-seconds" && has_value) {
+      phase_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--producers" && has_value) {
+      producers = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (phase_seconds <= 0.0 || producers <= 0) {
+    std::fprintf(stderr, "--phase-seconds and --producers must be > 0\n");
+    return 1;
+  }
+
+  try {
+    std::filesystem::create_directories(out_dir);
+
+    // A tiny untrained SDM checkpoint: bench_serve measures the serving
+    // machinery, not model quality, and the tiny scale keeps per-clip cost
+    // small enough that overload is reachable on a CI box.
+    const std::string ckpt = out_dir + "/serve_bench.ckpt";
+    Rng rng(7);
+    const auto model =
+        serve::make_peb_net("sdm", serve::ModelScale::kTiny, rng);
+    nn::save_parameters(*model, ckpt);
+    const serve::FrozenModel frozen("sdm", serve::ModelScale::kTiny, ckpt,
+                                    Shape({2, 8, 8}));
+
+    // Calibrate per-clip cost to set offered rates relative to capacity.
+    const Tensor probe = Tensor::full(frozen.input_shape(), 0.25f);
+    const auto c0 = std::chrono::steady_clock::now();
+    constexpr int kCalibration = 8;
+    for (int i = 0; i < kCalibration; ++i) (void)frozen.infer(probe);
+    const double clip_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - c0)
+            .count() /
+        kCalibration;
+    const double capacity_cps = 1000.0 / std::max(clip_ms, 1e-3);
+    std::printf("calibration: %.3f ms/clip (~%.0f clips/sec capacity)\n",
+                clip_ms, capacity_cps);
+
+    std::vector<PhaseReport> phases;
+    phases.push_back(run_phase(frozen, "nominal", 0.5 * capacity_cps,
+                               phase_seconds, producers));
+    phases.push_back(run_phase(frozen, "overload", 4.0 * capacity_cps,
+                               phase_seconds, producers));
+
+    for (const PhaseReport& ph : phases) {
+      std::printf(
+          "%-8s offered=%.0f cps  completed=%llu  p50=%.2f ms  p99=%.2f ms  "
+          "%.0f clips/sec  depth_peak=%lld  rejected=%llu  expired=%llu  "
+          "shed=%llu (rate %.2f)\n",
+          ph.name.c_str(), ph.offered_cps,
+          static_cast<unsigned long long>(ph.completed), ph.p50_ms, ph.p99_ms,
+          ph.clips_per_sec, static_cast<long long>(ph.queue_depth_peak),
+          static_cast<unsigned long long>(ph.rejected),
+          static_cast<unsigned long long>(ph.expired),
+          static_cast<unsigned long long>(ph.shed), ph.shed_rate);
+    }
+
+    const std::string report_path = out_dir + "/serve_report.json";
+    save_report(report_path, phases, producers);
+    std::printf("wrote %s\n", report_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

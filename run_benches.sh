@@ -2,11 +2,24 @@
 # Regenerates every reproduced table/figure: one binary per experiment
 # (DESIGN.md §3). Artifacts land in ./bench_out. Scale via
 # SDMPEB_BENCH_CLIPS / SDMPEB_BENCH_EPOCHS.
+#
+# A failing bench fails the sequence: every binary still runs (so one
+# breakage doesn't hide another), failures are listed at the end, and the
+# exit code is non-zero. BENCH_SEQUENCE_DONE is only printed on full
+# success — CI and humans can both key on it.
 cd "$(dirname "$0")"
 rm -rf bench_out
+FAILED=()
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $b ====="
-  stdbuf -oL "$b"
+  if ! stdbuf -oL "$b"; then
+    echo "===== $b FAILED (rc=$?) =====" >&2
+    FAILED+=("$b")
+  fi
 done
+if [ "${#FAILED[@]}" -ne 0 ]; then
+  echo "BENCH_SEQUENCE_FAILED: ${FAILED[*]}" >&2
+  exit 1
+fi
 echo "BENCH_SEQUENCE_DONE"

@@ -1,5 +1,7 @@
 #include "common/fault.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -30,32 +32,55 @@ Injector& injector() {
   return inj;
 }
 
-/// Parse "site:prob,site:prob" into the injector. Malformed entries throw:
-/// a typo in SDMPEB_FAULTS silently disabling a soak test would defeat the
-/// point of the harness.
+/// Parse "site:prob,site:prob" into the injector. Malformed entries throw
+/// and leave everything disarmed: a typo in SDMPEB_FAULTS silently
+/// disabling (or softening) a soak test would defeat the point of the
+/// harness. Rejected: a missing ':prob', an empty site, an empty /
+/// non-numeric / partially-numeric probability, and any probability outside
+/// [0, 1] (out-of-range is a typo, not a clamping request).
 void apply_spec(Injector& inj, const std::string& spec, std::uint64_t seed) {
   inj.probs.clear();
   inj.fired.clear();
   inj.rng = Rng(seed);
-  std::istringstream stream(spec);
-  std::string entry;
-  while (std::getline(stream, entry, ',')) {
-    if (entry.empty()) continue;
-    const auto colon = entry.find(':');
-    SDMPEB_CHECK_MSG(colon != std::string::npos && colon > 0,
-                     "bad fault spec entry '" << entry
-                                              << "' (want site:prob)");
-    const std::string site = entry.substr(0, colon);
-    char* end = nullptr;
-    const double prob = std::strtod(entry.c_str() + colon + 1, &end);
-    SDMPEB_CHECK_MSG(end && *end == '\0',
-                     "bad fault probability in '" << entry << "'");
-    inj.probs[site] = std::min(std::max(prob, 0.0), 1.0);
+  try {
+    std::istringstream stream(spec);
+    std::string entry;
+    while (std::getline(stream, entry, ',')) {
+      if (entry.empty()) continue;
+      const auto colon = entry.find(':');
+      SDMPEB_CHECK_MSG(colon != std::string::npos,
+                       "bad fault spec entry '" << entry
+                                                << "' (want site:prob)");
+      SDMPEB_CHECK_MSG(colon > 0,
+                       "empty site in fault spec entry '" << entry << "'");
+      const std::string site = entry.substr(0, colon);
+      const char* prob_begin = entry.c_str() + colon + 1;
+      SDMPEB_CHECK_MSG(*prob_begin != '\0',
+                       "missing probability in fault spec entry '" << entry
+                                                                   << "'");
+      char* end = nullptr;
+      const double prob = std::strtod(prob_begin, &end);
+      SDMPEB_CHECK_MSG(end != prob_begin && end && *end == '\0',
+                       "non-numeric fault probability in '" << entry << "'");
+      SDMPEB_CHECK_MSG(std::isfinite(prob) && prob >= 0.0 && prob <= 1.0,
+                       "fault probability out of [0, 1] in '" << entry
+                                                              << "'");
+      inj.probs[site] = prob;
+    }
+  } catch (...) {
+    // Never leave a half-applied spec armed.
+    inj.probs.clear();
+    detail::g_faults_on.store(false, std::memory_order_relaxed);
+    throw;
   }
   detail::g_faults_on.store(!inj.probs.empty(), std::memory_order_relaxed);
 }
 
-/// One-time environment resolution, before any site can fire.
+/// One-time environment resolution, before any site can fire. A malformed
+/// SDMPEB_FAULTS aborts with the parse diagnostic: running the process with
+/// a typo'd spec silently unarmed is the one outcome the harness must never
+/// allow, and this runs during static init where an exception would only
+/// reach std::terminate anyway.
 const bool g_env_applied = [] {
   const char* spec = std::getenv("SDMPEB_FAULTS");
   if (spec && *spec) {
@@ -65,7 +90,12 @@ const bool g_env_applied = [] {
                                                             10))
                  : std::uint64_t{1};
     std::lock_guard<std::mutex> lock(g_mutex);
-    apply_spec(injector(), spec, seed);
+    try {
+      apply_spec(injector(), spec, seed);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "fatal: SDMPEB_FAULTS rejected: %s\n", e.what());
+      std::abort();
+    }
   }
   return true;
 }();

@@ -9,6 +9,10 @@
 //   io.bitflip    one payload bit flipped before the write (CRC must catch)
 //   grad.nan      trainer poisons one accumulated gradient with a NaN
 //   peb.diverge   PEB solver poisons one field cell after a sweep
+//   serve.slow_infer       serving batcher stalls one forward (backlog)
+//   serve.queue_reject     one admission rejected as if the queue were full
+//   serve.corrupt_request  one request payload value poisoned with a NaN
+//                          (admission validation must catch it)
 //
 // Configuration comes from the environment —
 //
@@ -59,8 +63,10 @@ inline bool should_fire(const char* site) {
 std::size_t draw_index(std::size_t n);
 
 /// Arm sites from a spec string ("site:prob,site:prob"). Replaces any
-/// previous configuration (including the environment's). Probabilities are
-/// clamped to [0, 1]; an empty spec disarms everything.
+/// previous configuration (including the environment's). Malformed entries
+/// (missing ':prob', empty site, non-numeric / non-finite / out-of-[0,1]
+/// probability) throw sdmpeb::Error and leave everything disarmed — a typo
+/// must never silently soften a soak. An empty spec disarms everything.
 void configure(const std::string& spec, std::uint64_t seed);
 
 /// Disarm all sites and reset fired counters.

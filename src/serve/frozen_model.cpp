@@ -1,0 +1,83 @@
+#include "serve/frozen_model.hpp"
+
+#include "baselines/deep_cnn.hpp"
+#include "baselines/deepeb.hpp"
+#include "baselines/fno.hpp"
+#include "baselines/tempo_resist.hpp"
+#include "common/error.hpp"
+#include "common/obs.hpp"
+#include "core/sdm_peb_model.hpp"
+#include "core/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace sdmpeb::serve {
+
+ModelScale parse_model_scale(const std::string& name) {
+  if (name == "default" || name.empty()) return ModelScale::kDefault;
+  if (name == "tiny") return ModelScale::kTiny;
+  SDMPEB_CHECK_MSG(false, "unknown model scale '" << name
+                                                  << "' (default|tiny)");
+}
+
+std::unique_ptr<core::PebNet> make_peb_net(const std::string& name,
+                                           ModelScale scale, Rng& rng) {
+  if (name == "sdm") {
+    const auto config = scale == ModelScale::kTiny
+                            ? core::SdmPebConfig::tiny()
+                            : core::SdmPebConfig::default_scale();
+    return std::make_unique<core::SdmPebModel>(config, rng);
+  }
+  if (name == "deepcnn")
+    return std::make_unique<baselines::DeepCnn>(baselines::DeepCnnConfig{},
+                                                rng);
+  if (name == "tempo")
+    return std::make_unique<baselines::TempoResist>(
+        baselines::TempoResistConfig{}, rng);
+  if (name == "fno")
+    return std::make_unique<baselines::Fno>(baselines::FnoConfig{}, rng);
+  if (name == "deepeb")
+    return std::make_unique<baselines::DeePeb>(baselines::DeePebConfig{}, rng);
+  SDMPEB_CHECK_MSG(false, "unknown model '" << name
+                                            << "' (sdm|deepcnn|tempo|fno|"
+                                               "deepeb)");
+}
+
+FrozenModel::FrozenModel(const std::string& model_name, ModelScale scale,
+                         const std::string& ckpt_path, Shape input_shape)
+    : input_shape_(std::move(input_shape)) {
+  SDMPEB_CHECK_MSG(input_shape_.rank() == 3,
+                   "serve input shape must be (D, H, W), got "
+                       << input_shape_.to_string());
+  // The init RNG is irrelevant — every parameter is overwritten by the
+  // checkpoint — but construction wants one.
+  Rng rng(1);
+  model_ = make_peb_net(model_name, scale, rng);
+  // Startup artifact validation: read_container CRC-checks the framing and
+  // load_parameters enforces per-tensor shape agreement, so a truncated,
+  // bit-flipped or wrong-architecture checkpoint throws here — the runtime
+  // never starts on a poisoned model.
+  nn::load_parameters(*model_, ckpt_path);
+  // Freeze: with no parameter tracking gradients, every op sees
+  // any_requires_grad == false and skips wiring backward closures — the
+  // forward builds values only, no tape (op_helpers.hpp).
+  for (const auto& p : model_->parameters()) p->set_requires_grad(false);
+  // Warm-up forward: fails fast on an input shape the architecture cannot
+  // consume, and sizes the per-thread workspace arenas so steady-state
+  // serving allocates no new backing blocks.
+  (void)core::predict(*model_, Tensor::zeros(input_shape_));
+  name_ = model_->name();
+  SDMPEB_LOG(obs::LogLevel::kInfo)
+      << "serve: frozen " << name_ << " from " << ckpt_path << " ("
+      << model_->parameter_count() << " params, input "
+      << input_shape_.to_string() << ")";
+}
+
+Tensor FrozenModel::infer(const Tensor& acid) const {
+  SDMPEB_CHECK_MSG(acid.shape() == input_shape_,
+                   "serve input shape " << acid.shape().to_string()
+                                        << " != frozen plan "
+                                        << input_shape_.to_string());
+  return core::predict(*model_, acid);
+}
+
+}  // namespace sdmpeb::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+// Frozen-model forward path for inference serving (DESIGN.md §13).
+//
+// A FrozenModel is an immutable, validated-at-startup surrogate: the
+// checksummed v2 checkpoint is loaded (corrupt / truncated / mismatched
+// artifacts are rejected here, never mid-request), every parameter has
+// gradient tracking stripped so forwards build no autograd tape, and a
+// warm-up forward at the declared input shape sizes the workspace-arena
+// chain once — steady-state inference then performs no backing-block heap
+// allocations (the "arena-planned activations" contract, pinned by
+// serve_test).
+
+#include <memory>
+#include <string>
+
+#include "core/peb_net.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::serve {
+
+/// Architecture scale for the model factory. kDefault is the CPU-grid scale
+/// every checkpoint produced by `sdmpeb_cli train` uses; kTiny matches
+/// core::SdmPebConfig::tiny() for fast tests (SDM only — baselines have a
+/// single configuration).
+enum class ModelScale { kDefault, kTiny };
+
+ModelScale parse_model_scale(const std::string& name);  ///< "default"|"tiny"
+
+/// Construct an untrained surrogate by name (sdm|deepcnn|tempo|fno|deepeb).
+/// Shared by the CLI (train/evaluate) and FrozenModel so every entry point
+/// agrees on the architecture a checkpoint pairs with.
+std::unique_ptr<core::PebNet> make_peb_net(const std::string& name,
+                                           ModelScale scale, Rng& rng);
+
+class FrozenModel {
+ public:
+  /// Build `model_name` at `scale`, load `ckpt_path`, freeze, warm up at
+  /// `input_shape` (a rank-3 (D, H, W) acid volume). Throws sdmpeb::Error
+  /// on an unknown model, a corrupt or truncated checkpoint (CRC / framing
+  /// / shape mismatch), or a shape the architecture cannot consume.
+  FrozenModel(const std::string& model_name, ModelScale scale,
+              const std::string& ckpt_path, Shape input_shape);
+
+  /// Forward-only inference: (D, H, W) acid -> (D, H, W) label prediction.
+  /// No tape is built; safe to call repeatedly from one thread at a time.
+  Tensor infer(const Tensor& acid) const;
+
+  const Shape& input_shape() const { return input_shape_; }
+  const std::string& name() const { return name_; }
+  std::int64_t parameter_count() const { return model_->parameter_count(); }
+
+ private:
+  std::unique_ptr<core::PebNet> model_;
+  Shape input_shape_;
+  std::string name_;
+};
+
+}  // namespace sdmpeb::serve

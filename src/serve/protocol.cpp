@@ -1,0 +1,150 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace sdmpeb::serve {
+
+namespace {
+
+constexpr char kRequestMagic[4] = {'S', 'R', 'V', 'Q'};
+constexpr char kResponseMagic[4] = {'S', 'R', 'V', 'R'};
+/// Per-axis sanity bound: dims beyond this are corrupt framing, not data.
+constexpr std::uint32_t kMaxDim = 4096;
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+/// Bounds-checked little cursor over a payload string.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& payload) : payload_(payload) {}
+
+  template <typename T>
+  T get(const char* field) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    bytes(&value, sizeof(T), field);
+    return value;
+  }
+  void bytes(void* out, std::size_t size, const char* field) {
+    SDMPEB_CHECK_MSG(pos_ + size <= payload_.size(),
+                     "malformed serve frame: truncated at " << field << " ("
+                         << payload_.size() << " payload bytes)");
+    std::memcpy(out, payload_.data() + pos_, size);
+    pos_ += size;
+  }
+  std::size_t remaining() const { return payload_.size() - pos_; }
+  std::string rest() { return payload_.substr(pos_); }
+
+ private:
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+void check_magic(Cursor& in, const char expect[4], const char* kind) {
+  char magic[4];
+  in.bytes(magic, sizeof(magic), "magic");
+  SDMPEB_CHECK_MSG(std::memcmp(magic, expect, 4) == 0,
+                   "malformed serve frame: bad " << kind << " magic");
+}
+
+Shape read_dims(Cursor& in) {
+  std::int64_t dims[3];
+  const char* names[3] = {"depth", "height", "width"};
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto d = in.get<std::uint32_t>(names[axis]);
+    SDMPEB_CHECK_MSG(d >= 1 && d <= kMaxDim,
+                     "malformed serve frame: implausible " << names[axis]
+                         << " " << d);
+    dims[axis] = static_cast<std::int64_t>(d);
+  }
+  return Shape{dims[0], dims[1], dims[2]};
+}
+
+Tensor read_volume(Cursor& in) {
+  const Shape shape = read_dims(in);
+  const auto bytes = static_cast<std::size_t>(shape.numel()) * sizeof(float);
+  SDMPEB_CHECK_MSG(in.remaining() == bytes,
+                   "malformed serve frame: payload carries "
+                       << in.remaining() << " bytes, dims "
+                       << shape.to_string() << " need " << bytes);
+  Tensor volume = Tensor::zeros(shape);
+  in.bytes(volume.raw(), bytes, "volume data");
+  return volume;
+}
+
+void write_volume(std::string& out, const Tensor& volume) {
+  SDMPEB_CHECK_MSG(volume.rank() == 3,
+                   "serve frames carry (D, H, W) volumes, got rank "
+                       << volume.rank());
+  for (std::size_t axis = 0; axis < 3; ++axis)
+    put(out, static_cast<std::uint32_t>(volume.dim(axis)));
+  out.append(reinterpret_cast<const char*>(volume.raw()),
+             static_cast<std::size_t>(volume.numel()) * sizeof(float));
+}
+
+}  // namespace
+
+std::string encode_request(const RequestFrame& frame) {
+  std::string out;
+  out.append(kRequestMagic, 4);
+  put(out, frame.id);
+  put(out, frame.priority);
+  put(out, frame.deadline_ms);
+  write_volume(out, frame.acid);
+  SDMPEB_CHECK_MSG(out.size() <= kMaxFrameBytes,
+                   "serve request frame exceeds " << kMaxFrameBytes
+                                                  << " bytes");
+  return out;
+}
+
+RequestFrame decode_request(const std::string& payload) {
+  Cursor in(payload);
+  check_magic(in, kRequestMagic, "request");
+  RequestFrame frame;
+  frame.id = in.get<std::uint64_t>("id");
+  frame.priority = in.get<std::int32_t>("priority");
+  frame.deadline_ms = in.get<std::uint32_t>("deadline_ms");
+  frame.acid = read_volume(in);
+  return frame;
+}
+
+std::string encode_response(const ResponseFrame& frame) {
+  std::string out;
+  out.append(kResponseMagic, 4);
+  put(out, frame.id);
+  put(out, static_cast<std::uint32_t>(frame.status));
+  if (frame.status == Status::kOk)
+    write_volume(out, frame.label);
+  else
+    out.append(frame.error);
+  SDMPEB_CHECK_MSG(out.size() <= kMaxFrameBytes,
+                   "serve response frame exceeds " << kMaxFrameBytes
+                                                   << " bytes");
+  return out;
+}
+
+ResponseFrame decode_response(const std::string& payload) {
+  Cursor in(payload);
+  check_magic(in, kResponseMagic, "response");
+  ResponseFrame frame;
+  frame.id = in.get<std::uint64_t>("id");
+  const auto status = in.get<std::uint32_t>("status");
+  SDMPEB_CHECK_MSG(status <= static_cast<std::uint32_t>(Status::kError),
+                   "malformed serve frame: unknown status " << status);
+  frame.status = static_cast<Status>(status);
+  if (frame.status == Status::kOk)
+    frame.label = read_volume(in);
+  else
+    frame.error = in.rest();
+  return frame;
+}
+
+}  // namespace sdmpeb::serve

@@ -1,0 +1,60 @@
+#pragma once
+
+// Length-prefixed binary protocol for `sdmpeb_cli serve` (DESIGN.md §13).
+//
+// Every frame on the wire is [length u32 LE][payload of `length` bytes].
+// The length covers the payload only and is bounded by kMaxFrameBytes, so a
+// reader can always either resynchronise on the next frame or fail fast
+// with a diagnostic — it never allocates unbounded memory on garbage input.
+//
+// Request payload ("SRVQ"):
+//   [magic 4B][id u64][priority i32][deadline_ms u32]
+//   [d u32][h u32][w u32][d*h*w f32]
+// deadline_ms == 0 asks for the server's default deadline.
+//
+// Response payload ("SRVR"):
+//   [magic 4B][id u64][status u32]
+//   status == kOk:   [d u32][h u32][w u32][d*h*w f32]
+//   otherwise:       [error string, rest of payload]
+//
+// Integers and floats are little-endian / IEEE-754, matching every other
+// on-disk format in the repository. decode_* throws sdmpeb::Error with the
+// offending field on any malformed payload (bad magic, implausible dims,
+// payload/dims size mismatch) — malformed frames are rejected per-frame,
+// the stream keeps serving.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/serve.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdmpeb::serve {
+
+/// Upper bound on a frame payload (64 MiB — a 256^3 float volume is evicted
+/// with headroom). A length prefix above this is unrecoverable garbage.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+struct RequestFrame {
+  std::uint64_t id = 0;
+  std::int32_t priority = 0;
+  std::uint32_t deadline_ms = 0;  ///< 0 = server default
+  Tensor acid;                    ///< (D, H, W)
+};
+
+struct ResponseFrame {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  Tensor label;       ///< kOk only
+  std::string error;  ///< non-kOk only
+};
+
+/// Serialise a payload (no length prefix — the transport adds it).
+std::string encode_request(const RequestFrame& frame);
+std::string encode_response(const ResponseFrame& frame);
+
+/// Parse a payload; throws sdmpeb::Error on any malformed field.
+RequestFrame decode_request(const std::string& payload);
+ResponseFrame decode_response(const std::string& payload);
+
+}  // namespace sdmpeb::serve

@@ -20,6 +20,7 @@
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
 #include "nn/serialize.hpp"
+#include "serve/frozen_model.hpp"
 
 namespace sdmpeb {
 namespace {
@@ -366,6 +367,54 @@ TEST_F(CorruptCheckpointTest, TrainStateRejectsV1AndCorruptCursors) {
       static_cast<char>(flipped[bytes.size() / 2] ^ 0x01);
   spit(path("s_flip.state"), flipped);
   EXPECT_THROW(nn::load_train_state(path("s_flip.state"), model, optimizer),
+               Error);
+}
+
+TEST_F(CorruptCheckpointTest, ServeFrozenModelRejectsCorruptArtifactsAtStartup) {
+  // The serving contract (DESIGN.md §13): a corrupt, truncated, or
+  // mismatched checkpoint must fail FrozenModel construction — never load
+  // quietly and fail (or mispredict) mid-request.
+  Rng rng(11);
+  const auto model = serve::make_peb_net("sdm", serve::ModelScale::kTiny, rng);
+  nn::save_parameters(*model, path("frozen.ckpt"));
+  const Shape shape{2, 8, 8};
+
+  // The pristine checkpoint loads.
+  EXPECT_NO_THROW(serve::FrozenModel("sdm", serve::ModelScale::kTiny,
+                                     path("frozen.ckpt"), shape));
+
+  const auto bytes = slurp(path("frozen.ckpt"));
+  for (const auto cut : truncation_points(bytes.size())) {
+    spit(path("frozen_trunc.ckpt"), bytes.substr(0, cut));
+    EXPECT_THROW(serve::FrozenModel("sdm", serve::ModelScale::kTiny,
+                                    path("frozen_trunc.ckpt"), shape),
+                 Error)
+        << "truncation to " << cut << " bytes was served";
+  }
+
+  auto flipped = bytes;
+  flipped[bytes.size() / 2] =
+      static_cast<char>(flipped[bytes.size() / 2] ^ 0x04);
+  spit(path("frozen_flip.ckpt"), flipped);
+  EXPECT_THROW(serve::FrozenModel("sdm", serve::ModelScale::kTiny,
+                                  path("frozen_flip.ckpt"), shape),
+               Error);
+
+  // Architecture mismatch: a tiny checkpoint does not fit the default-scale
+  // model (shape validation in load_parameters), and vice versa for names.
+  EXPECT_THROW(serve::FrozenModel("sdm", serve::ModelScale::kDefault,
+                                  path("frozen.ckpt"), shape),
+               Error);
+  EXPECT_THROW(serve::FrozenModel("not-a-model", serve::ModelScale::kTiny,
+                                  path("frozen.ckpt"), shape),
+               Error);
+
+  // Missing file and a shape the architecture cannot consume.
+  EXPECT_THROW(serve::FrozenModel("sdm", serve::ModelScale::kTiny,
+                                  path("absent.ckpt"), shape),
+               Error);
+  EXPECT_THROW(serve::FrozenModel("sdm", serve::ModelScale::kTiny,
+                                  path("frozen.ckpt"), Shape{2, 8}),
                Error);
 }
 

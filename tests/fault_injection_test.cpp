@@ -78,6 +78,35 @@ TEST(FaultConfig, SpecParsingAndDeterminism) {
   EXPECT_FALSE(fault::enabled());
 }
 
+TEST(FaultConfig, MalformedSpecsFailLoudlyAndDisarm) {
+  // A typo in a fault spec must never soften a soak test by silently
+  // disabling (or clamping) a site: every malformed entry throws, and a
+  // throw leaves the whole injector disarmed — including entries that
+  // parsed before the bad one.
+  fault::configure("good.site:1", 1);
+  EXPECT_TRUE(fault::enabled());
+
+  EXPECT_THROW(fault::configure("site:", 1), Error);  // empty probability
+  EXPECT_FALSE(fault::enabled());                     // disarmed, not stale
+  EXPECT_FALSE(fault::should_fire("good.site"));
+
+  EXPECT_THROW(fault::configure(":0.5", 1), Error);        // empty site
+  EXPECT_THROW(fault::configure("site:1.5", 1), Error);    // prob > 1
+  EXPECT_THROW(fault::configure("site:-0.1", 1), Error);   // prob < 0
+  EXPECT_THROW(fault::configure("site:nan", 1), Error);    // non-finite
+  EXPECT_THROW(fault::configure("site:0.5x", 1), Error);   // trailing junk
+
+  // Valid prefix + malformed tail: nothing from the prefix stays armed.
+  EXPECT_THROW(fault::configure("good.site:0.5,bad:", 1), Error);
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::should_fire("good.site"));
+
+  // And a good spec still arms normally afterwards.
+  fault::configure("good.site:1", 1);
+  EXPECT_TRUE(fault::should_fire("good.site"));
+  fault::clear();
+}
+
 TEST_F(FaultInjectionTest, TrainingSoaksThroughGradientFaults) {
   // Every ~4th sample poisons a gradient. The trainer must detect each
   // poisoned window before the optimizer touches the weights, retry /

@@ -1,0 +1,534 @@
+// Serving-stack unit tests (DESIGN.md §13): frozen-model forward path
+// (tape-free, arena-stable), wire protocol framing (round-trip + the
+// malformed-frame matrix), and the ServeRuntime robustness contract —
+// bounded admission, deadline expiry while queued vs. while batched,
+// overload shedding by priority, exactly-once responses across drain, and
+// the serve.* fault-injection sites. The open-loop stress companion lives
+// in serve_soak_test.cpp.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "nn/serialize.hpp"
+#include "serve/frozen_model.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve.hpp"
+
+namespace sdmpeb {
+namespace {
+
+bool same_data(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::equal(a.data().begin(), a.data().end(), b.data().begin());
+}
+
+/// Shared tiny checkpoint + frozen model: FrozenModel construction runs a
+/// warm-up forward, so build it once for the whole suite.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("sdmpeb_serve_test_" + std::to_string(::getpid())));
+    std::filesystem::create_directories(*dir_);
+    ckpt_ = new std::string((*dir_ / "tiny.ckpt").string());
+    Rng rng(3);
+    const auto model =
+        serve::make_peb_net("sdm", serve::ModelScale::kTiny, rng);
+    nn::save_parameters(*model, *ckpt_);
+    frozen_ = new serve::FrozenModel("sdm", serve::ModelScale::kTiny, *ckpt_,
+                                     Shape{2, 8, 8});
+  }
+  static void TearDownTestSuite() {
+    delete frozen_;
+    frozen_ = nullptr;
+    std::filesystem::remove_all(*dir_);
+    delete ckpt_;
+    ckpt_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+  void SetUp() override { fault::clear(); }
+  void TearDown() override { fault::clear(); }
+
+  static Tensor good_acid() { return Tensor::full(Shape{2, 8, 8}, 0.25f); }
+
+  /// Collects responses and lets tests block until a count arrives.
+  struct Collector {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<serve::Response> responses;
+    serve::ResponseFn fn() {
+      return [this](serve::Response resp) {
+        std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(std::move(resp));
+        cv.notify_all();
+      };
+    }
+    bool wait_for(std::size_t n, int seconds = 30) {
+      std::unique_lock<std::mutex> lock(mu);
+      return cv.wait_for(lock, std::chrono::seconds(seconds),
+                         [&] { return responses.size() >= n; });
+    }
+    const serve::Response& by_id(std::uint64_t id) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const auto& resp : responses)
+        if (resp.id == id) return resp;
+      ADD_FAILURE() << "no response for id " << id;
+      static serve::Response none;
+      return none;
+    }
+  };
+
+  static std::filesystem::path* dir_;
+  static std::string* ckpt_;
+  static serve::FrozenModel* frozen_;
+};
+
+std::filesystem::path* ServeTest::dir_ = nullptr;
+std::string* ServeTest::ckpt_ = nullptr;
+serve::FrozenModel* ServeTest::frozen_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Frozen-model forward path
+
+TEST_F(ServeTest, FrozenModelInferIsDeterministicAndShapePinned) {
+  const Tensor a = frozen_->infer(good_acid());
+  const Tensor b = frozen_->infer(good_acid());
+  ASSERT_TRUE(a.shape() == Shape({2, 8, 8}));
+  EXPECT_TRUE(same_data(a, b));
+  EXPECT_GT(frozen_->parameter_count(), 0);
+  EXPECT_EQ(frozen_->name(), "SDM-PEB");  // the architecture's display name
+
+  // Wrong shape is refused by the frozen plan, not forwarded.
+  EXPECT_THROW(frozen_->infer(Tensor::zeros(Shape{2, 8, 4})), Error);
+}
+
+TEST_F(ServeTest, FrozenForwardBuildsNoTape) {
+  // The serving forward must not build an autograd tape. Reproduce what
+  // FrozenModel does — freeze every parameter — and pin the graph shape:
+  // the output node has no parents and no gradient demand.
+  Rng rng(3);
+  const auto model = serve::make_peb_net("sdm", serve::ModelScale::kTiny, rng);
+  nn::load_parameters(*model, *ckpt_);
+  for (const auto& p : model->parameters()) p->set_requires_grad(false);
+  const nn::Value out =
+      model->forward(nn::constant(Tensor::zeros(Shape{1, 2, 8, 8})));
+  EXPECT_FALSE(out->requires_grad());
+  EXPECT_TRUE(out->parents().empty());
+
+  // Sanity check on the instrument itself: with gradients on, the same
+  // forward does wire the tape.
+  const auto tracked =
+      serve::make_peb_net("sdm", serve::ModelScale::kTiny, rng);
+  const nn::Value tracked_out =
+      tracked->forward(nn::constant(Tensor::zeros(Shape{1, 2, 8, 8})));
+  EXPECT_TRUE(tracked_out->requires_grad());
+  EXPECT_FALSE(tracked_out->parents().empty());
+}
+
+TEST_F(ServeTest, FrozenInferenceIsArenaStableAfterWarmup) {
+  // The constructor's warm-up forward sizes the workspace-arena chain;
+  // steady-state inference must allocate no new backing blocks.
+  (void)frozen_->infer(good_acid());  // settle this process's arenas
+  const std::uint64_t blocks = WorkspaceArena::total_heap_blocks();
+  for (int i = 0; i < 5; ++i) (void)frozen_->infer(good_acid());
+  EXPECT_EQ(WorkspaceArena::total_heap_blocks(), blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(ServeProtocol, RequestAndResponseRoundTrip) {
+  serve::RequestFrame req;
+  req.id = 0xDEADBEEFCAFEULL;
+  req.priority = -3;
+  req.deadline_ms = 250;
+  req.acid = Tensor::full(Shape{2, 3, 4}, 1.5f);
+  const auto req_bytes = serve::encode_request(req);
+  const auto req2 = serve::decode_request(req_bytes);
+  EXPECT_EQ(req2.id, req.id);
+  EXPECT_EQ(req2.priority, req.priority);
+  EXPECT_EQ(req2.deadline_ms, req.deadline_ms);
+  EXPECT_TRUE(same_data(req2.acid, req.acid));
+
+  serve::ResponseFrame ok;
+  ok.id = 7;
+  ok.status = serve::Status::kOk;
+  ok.label = Tensor::full(Shape{2, 3, 4}, -0.25f);
+  const auto ok_bytes = serve::encode_response(ok);
+  const auto ok2 = serve::decode_response(ok_bytes);
+  EXPECT_EQ(ok2.id, 7u);
+  EXPECT_EQ(ok2.status, serve::Status::kOk);
+  EXPECT_TRUE(same_data(ok2.label, ok.label));
+
+  serve::ResponseFrame err;
+  err.id = 8;
+  err.status = serve::Status::kExpired;
+  err.error = "deadline expired while queued";
+  const auto err_bytes = serve::encode_response(err);
+  const auto err2 = serve::decode_response(err_bytes);
+  EXPECT_EQ(err2.status, serve::Status::kExpired);
+  EXPECT_EQ(err2.error, err.error);
+}
+
+TEST(ServeProtocol, MalformedFramesAreRejected) {
+  serve::RequestFrame req;
+  req.id = 1;
+  req.acid = Tensor::full(Shape{2, 3, 4}, 1.0f);
+  const auto bytes = serve::encode_request(req);
+
+  // Truncation at every prefix boundary of the fixed header plus a cut in
+  // the volume data: all must throw, never read out of bounds.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{11},
+        std::size_t{15}, std::size_t{19}, std::size_t{23}, std::size_t{27},
+        bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    EXPECT_THROW(serve::decode_request(bytes.substr(0, cut)), Error)
+        << "truncation to " << cut << " bytes was accepted";
+  }
+
+  // Wrong magic.
+  auto junk = bytes;
+  junk[0] = 'J';
+  EXPECT_THROW(serve::decode_request(junk), Error);
+
+  // Zero and oversized dimensions (d lives at payload offset 20).
+  auto zero_dim = bytes;
+  for (int i = 0; i < 4; ++i) zero_dim[20 + i] = '\0';
+  EXPECT_THROW(serve::decode_request(zero_dim), Error);
+  auto huge_dim = bytes;
+  huge_dim[20] = static_cast<char>(0xFF);
+  huge_dim[21] = static_cast<char>(0xFF);
+  EXPECT_THROW(serve::decode_request(huge_dim), Error);
+
+  // Trailing bytes beyond the declared volume.
+  auto padded = bytes;
+  padded.push_back('\0');
+  EXPECT_THROW(serve::decode_request(padded), Error);
+
+  // Response side: bad magic and an out-of-range status code.
+  serve::ResponseFrame resp;
+  resp.id = 2;
+  resp.status = serve::Status::kOk;
+  resp.label = Tensor::zeros(Shape{1, 1, 1});
+  const auto resp_bytes = serve::encode_response(resp);
+  auto bad_magic = resp_bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(serve::decode_response(bad_magic), Error);
+  auto bad_status = resp_bytes;
+  bad_status[12] = 99;  // status lives at payload offset 12
+  EXPECT_THROW(serve::decode_response(bad_status), Error);
+}
+
+// ---------------------------------------------------------------------------
+// ServeRuntime
+
+TEST_F(ServeTest, ConfigValidationRejectsNonsense) {
+  serve::ServeConfig config;
+  config.queue_capacity = 0;
+  EXPECT_THROW(serve::ServeRuntime(*frozen_, config), Error);
+  config = {};
+  config.overload_low_fraction = config.overload_high_fraction;
+  EXPECT_THROW(serve::ServeRuntime(*frozen_, config), Error);
+  config = {};
+  config.default_deadline_ms = 0.0;
+  EXPECT_THROW(serve::ServeRuntime(*frozen_, config), Error);
+}
+
+TEST_F(ServeTest, AcceptedRequestsCompleteExactlyOnce) {
+  serve::ServeRuntime runtime(*frozen_, serve::ServeConfig{});
+  Collector out;
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::Request req;
+    req.id = static_cast<std::uint64_t>(i);
+    req.acid = good_acid();
+    const auto verdict = runtime.submit(std::move(req), out.fn());
+    ASSERT_TRUE(verdict.accepted) << verdict.reason;
+  }
+  ASSERT_TRUE(out.wait_for(kRequests));
+  runtime.drain();
+
+  std::map<std::uint64_t, int> seen;
+  for (const auto& resp : out.responses) {
+    ++seen[resp.id];
+    EXPECT_EQ(resp.status, serve::Status::kOk) << resp.error;
+    EXPECT_TRUE(resp.label.shape() == Shape({2, 8, 8}));
+    EXPECT_GE(resp.total_ms, resp.queue_ms);
+    EXPECT_GE(resp.batch_size, 1);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kRequests));
+  for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << "id " << id;
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.responses(), stats.accepted);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST_F(ServeTest, InvalidPayloadsAreRejectedSynchronously) {
+  serve::ServeRuntime runtime(*frozen_, serve::ServeConfig{});
+  std::atomic<int> callbacks{0};
+  const auto never = [&](serve::Response) { ++callbacks; };
+
+  serve::Request wrong_shape;
+  wrong_shape.id = 1;
+  wrong_shape.acid = Tensor::zeros(Shape{4, 4, 4});
+  auto verdict = runtime.submit(std::move(wrong_shape), never);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.status, serve::Status::kInvalid);
+  EXPECT_NE(verdict.reason.find("shape"), std::string::npos);
+
+  serve::Request poisoned;
+  poisoned.id = 2;
+  poisoned.acid = good_acid();
+  poisoned.acid[0] = std::numeric_limits<float>::quiet_NaN();
+  verdict = runtime.submit(std::move(poisoned), never);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.status, serve::Status::kInvalid);
+  EXPECT_NE(verdict.reason.find("non-finite"), std::string::npos);
+
+  runtime.drain();
+  EXPECT_EQ(callbacks.load(), 0);  // rejected work never gets a callback
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.invalid, 2u);
+  EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST_F(ServeTest, BoundedQueueRejectsWhenFull) {
+  // Stall the batcher deterministically with the slow_infer fault so the
+  // queue can be filled while one item is in flight.
+  fault::configure("serve.slow_infer:1", 5);
+  serve::ServeConfig config;
+  config.queue_capacity = 2;
+  config.max_batch = 1;
+  config.max_wait_ms = 0.0;
+  config.fault_slow_infer_ms = 300.0;
+  serve::ServeRuntime runtime(*frozen_, config);
+  Collector out;
+
+  const auto submit = [&](std::uint64_t id) {
+    serve::Request req;
+    req.id = id;
+    req.acid = good_acid();
+    return runtime.submit(std::move(req), out.fn());
+  };
+  ASSERT_TRUE(submit(0).accepted);  // enters the batcher, stalls 300 ms
+  // Give the batcher time to dequeue id 0 so capacity is exactly 2 again.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (runtime.queue_depth() > 0 &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(10))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(submit(1).accepted);
+  ASSERT_TRUE(submit(2).accepted);
+  const auto verdict = submit(3);  // queue now holds 2 of 2
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.status, serve::Status::kRejectedFull);
+  EXPECT_NE(verdict.reason.find("capacity"), std::string::npos);
+
+  runtime.drain();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected_full, 1u);
+  EXPECT_EQ(stats.responses(), 3u);
+}
+
+TEST_F(ServeTest, DeadlineExpiresWhileQueuedAndWhileBatched) {
+  fault::configure("serve.slow_infer:1", 5);
+  serve::ServeConfig config;
+  config.max_batch = 2;
+  config.max_wait_ms = 40.0;
+  config.fault_slow_infer_ms = 120.0;
+  serve::ServeRuntime runtime(*frozen_, config);
+  Collector out;
+
+  // Batch 1: [0, 1] form one batch (max_batch reached). Item 0 stalls
+  // 120 ms in its own forward; item 1's 80 ms deadline is still alive at
+  // dequeue but dead by the time the batch reaches it -> "while batched".
+  serve::Request first;
+  first.id = 0;
+  first.deadline_ms = 10000.0;
+  first.acid = good_acid();
+  ASSERT_TRUE(runtime.submit(std::move(first), out.fn()).accepted);
+  serve::Request second;
+  second.id = 1;
+  second.deadline_ms = 80.0;
+  second.acid = good_acid();
+  ASSERT_TRUE(runtime.submit(std::move(second), out.fn()).accepted);
+  ASSERT_TRUE(out.wait_for(2));
+
+  // Batch 2: item 2 sits queued while the wait budget (40 ms) outlives its
+  // 5 ms deadline -> expired at dequeue, "while queued", model untouched.
+  serve::Request third;
+  third.id = 2;
+  third.deadline_ms = 5.0;
+  third.acid = good_acid();
+  ASSERT_TRUE(runtime.submit(std::move(third), out.fn()).accepted);
+  ASSERT_TRUE(out.wait_for(3));
+  runtime.drain();
+
+  EXPECT_EQ(out.by_id(0).status, serve::Status::kOk);
+  EXPECT_EQ(out.by_id(1).status, serve::Status::kExpired);
+  EXPECT_NE(out.by_id(1).error.find("while batched"), std::string::npos);
+  EXPECT_EQ(out.by_id(2).status, serve::Status::kExpired);
+  EXPECT_NE(out.by_id(2).error.find("while queued"), std::string::npos);
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.expired, 2u);
+  EXPECT_EQ(stats.responses(), stats.accepted);
+}
+
+TEST_F(ServeTest, SustainedOverloadShedsLowestPriorityFirst) {
+  fault::configure("serve.slow_infer:1", 5);
+  serve::ServeConfig config;
+  config.queue_capacity = 8;
+  config.max_batch = 1;
+  config.max_wait_ms = 0.0;
+  config.overload_high_fraction = 0.5;
+  config.overload_low_fraction = 0.25;
+  config.overload_cycles = 1;
+  config.fault_slow_infer_ms = 300.0;
+  config.default_deadline_ms = 60000.0;  // expiry must not mask shedding
+  serve::ServeRuntime runtime(*frozen_, config);
+  Collector out;
+
+  // Item 100 stalls in the batcher while six requests with priorities
+  // 0..5 pile up: depth 6/8 >= high. The next batch cycle degrades and
+  // sheds the lowest priorities down to the low watermark (2 left).
+  serve::Request plug;
+  plug.id = 100;
+  plug.priority = 9;
+  plug.acid = good_acid();
+  ASSERT_TRUE(runtime.submit(std::move(plug), out.fn()).accepted);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (runtime.queue_depth() > 0 &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(10))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (int p = 0; p < 6; ++p) {
+    serve::Request req;
+    req.id = static_cast<std::uint64_t>(p);
+    req.priority = p;
+    req.acid = good_acid();
+    ASSERT_TRUE(runtime.submit(std::move(req), out.fn()).accepted);
+  }
+  ASSERT_TRUE(out.wait_for(7));
+  runtime.drain();
+
+  EXPECT_EQ(out.by_id(100).status, serve::Status::kOk);
+  // Priorities 0..3 shed; the two highest (4, 5) survive and complete.
+  for (std::uint64_t id : {0u, 1u, 2u, 3u}) {
+    EXPECT_EQ(out.by_id(id).status, serve::Status::kShed) << "id " << id;
+    EXPECT_NE(out.by_id(id).error.find("overload"), std::string::npos);
+  }
+  for (std::uint64_t id : {4u, 5u})
+    EXPECT_EQ(out.by_id(id).status, serve::Status::kOk) << "id " << id;
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.shed, 4u);
+  EXPECT_GE(stats.degraded_entries, 1u);
+  EXPECT_EQ(stats.responses(), stats.accepted);
+}
+
+TEST_F(ServeTest, DrainDeliversEverythingThenRejects) {
+  fault::configure("serve.slow_infer:1", 5);
+  serve::ServeConfig config;
+  config.max_batch = 2;
+  config.max_wait_ms = 1000.0;  // without drain these would sit batching
+  config.fault_slow_infer_ms = 10.0;
+  serve::ServeRuntime runtime(*frozen_, config);
+  Collector out;
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::Request req;
+    req.id = static_cast<std::uint64_t>(i);
+    req.acid = good_acid();
+    ASSERT_TRUE(runtime.submit(std::move(req), out.fn()).accepted);
+  }
+  runtime.drain();  // must flush the queue without waiting out the budget
+
+  ASSERT_EQ(out.responses.size(), static_cast<std::size_t>(kRequests));
+  std::map<std::uint64_t, int> seen;
+  for (const auto& resp : out.responses) {
+    ++seen[resp.id];
+    EXPECT_EQ(resp.status, serve::Status::kOk) << resp.error;
+  }
+  for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << "id " << id;
+
+  // Post-drain admission is refused with the draining status.
+  serve::Request late;
+  late.id = 99;
+  late.acid = good_acid();
+  const auto verdict = runtime.submit(std::move(late), out.fn());
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.status, serve::Status::kRejectedDraining);
+  EXPECT_TRUE(runtime.draining());
+  EXPECT_EQ(runtime.stats().rejected_draining, 1u);
+
+  // drain() is idempotent.
+  runtime.drain();
+}
+
+TEST_F(ServeTest, QueueRejectFaultRejectsAsIfFull) {
+  fault::configure("serve.queue_reject:1", 5);
+  serve::ServeRuntime runtime(*frozen_, serve::ServeConfig{});
+  std::atomic<int> callbacks{0};
+  serve::Request req;
+  req.id = 1;
+  req.acid = good_acid();
+  const auto verdict =
+      runtime.submit(std::move(req), [&](serve::Response) { ++callbacks; });
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.status, serve::Status::kRejectedFull);
+  EXPECT_NE(verdict.reason.find("injected"), std::string::npos);
+  runtime.drain();
+  EXPECT_EQ(callbacks.load(), 0);
+  EXPECT_EQ(fault::fired_count("serve.queue_reject"), 1u);
+}
+
+TEST_F(ServeTest, CorruptRequestFaultIsCaughtByAdmissionValidation) {
+  fault::configure("serve.corrupt_request:1", 5);
+  serve::ServeRuntime runtime(*frozen_, serve::ServeConfig{});
+  std::atomic<int> callbacks{0};
+  serve::Request req;
+  req.id = 1;
+  req.acid = good_acid();  // perfectly finite on the way in
+  const auto verdict =
+      runtime.submit(std::move(req), [&](serve::Response) { ++callbacks; });
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.status, serve::Status::kInvalid);
+  EXPECT_NE(verdict.reason.find("non-finite"), std::string::npos);
+  runtime.drain();
+  EXPECT_EQ(callbacks.load(), 0);
+  EXPECT_EQ(fault::fired_count("serve.corrupt_request"), 1u);
+  EXPECT_EQ(runtime.stats().invalid, 1u);
+}
+
+TEST(ServeStatus, NamesCoverEveryCode) {
+  EXPECT_STREQ(serve::status_name(serve::Status::kOk), "ok");
+  EXPECT_STREQ(serve::status_name(serve::Status::kRejectedFull),
+               "rejected_full");
+  EXPECT_STREQ(serve::status_name(serve::Status::kRejectedDraining),
+               "rejected_draining");
+  EXPECT_STREQ(serve::status_name(serve::Status::kInvalid), "invalid");
+  EXPECT_STREQ(serve::status_name(serve::Status::kExpired), "expired");
+  EXPECT_STREQ(serve::status_name(serve::Status::kShed), "shed");
+  EXPECT_STREQ(serve::status_name(serve::Status::kError), "error");
+}
+
+}  // namespace
+}  // namespace sdmpeb

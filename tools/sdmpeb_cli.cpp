@@ -8,30 +8,37 @@
 //       checkpoint
 //   sdmpeb_cli evaluate  [--clips N] [--seed S] --model M --ckpt CKPT
 //       evaluate a checkpoint on the held-out split (Table II columns)
+//   sdmpeb_cli serve     --model M --ckpt CKPT [--shape DxHxW] [--queue N]
+//                        [--max-batch B] [--max-wait-ms W] [--deadline-ms D]
+//       serve a frozen checkpoint over a length-prefixed stdin/stdout
+//       protocol (serve/protocol.hpp); SIGINT/SIGTERM drains and exits
 //
 // All runs are deterministic for a given --seed.
 
+#include <unistd.h>
+
 #include <csignal>
+#include <signal.h>
 #include <cstdio>
 #include <cstring>
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 
-#include "baselines/deep_cnn.hpp"
-#include "baselines/deepeb.hpp"
-#include "baselines/fno.hpp"
-#include "baselines/tempo_resist.hpp"
 #include "common/obs.hpp"
 #include "common/trace_export.hpp"
-#include "core/sdm_peb_model.hpp"
 #include "eval/harness.hpp"
 #include "io/pgm.hpp"
 #include "io/volume_io.hpp"
 #include "nn/serialize.hpp"
+#include "serve/frozen_model.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve.hpp"
 
 using namespace sdmpeb;
 
@@ -47,8 +54,18 @@ extern "C" void handle_shutdown_signal(int) {
 }
 
 void install_signal_handlers() {
-  std::signal(SIGINT, handle_shutdown_signal);
-  std::signal(SIGTERM, handle_shutdown_signal);
+  // sigaction WITHOUT SA_RESTART: a shutdown signal must interrupt the
+  // serve loop's blocking stdin read with EINTR so the stop flag gets
+  // polled (std::signal on glibc sets SA_RESTART and the read would just
+  // resume). The trainer only polls the flag at step boundaries, so the
+  // flag semantics there are unchanged.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
 }
 
 struct CliArgs {
@@ -76,23 +93,22 @@ CliArgs parse_args(int argc, char** argv) {
   return args;
 }
 
-std::unique_ptr<core::PebNet> make_model(const std::string& name, Rng& rng) {
-  if (name == "sdm")
-    return std::make_unique<core::SdmPebModel>(
-        core::SdmPebConfig::default_scale(), rng);
-  if (name == "deepcnn")
-    return std::make_unique<baselines::DeepCnn>(baselines::DeepCnnConfig{},
-                                                rng);
-  if (name == "tempo")
-    return std::make_unique<baselines::TempoResist>(
-        baselines::TempoResistConfig{}, rng);
-  if (name == "fno")
-    return std::make_unique<baselines::Fno>(baselines::FnoConfig{}, rng);
-  if (name == "deepeb")
-    return std::make_unique<baselines::DeePeb>(baselines::DeePebConfig{},
-                                               rng);
-  SDMPEB_CHECK_MSG(false, "unknown model '" << name
-                          << "' (sdm|deepcnn|tempo|fno|deepeb)");
+std::unique_ptr<core::PebNet> make_model(const CliArgs& args, Rng& rng) {
+  return serve::make_peb_net(args.get("model", "sdm"),
+                             serve::parse_model_scale(args.get("scale", "")),
+                             rng);
+}
+
+/// Parse "DxHxW" (e.g. "16x64x64") into a rank-3 shape.
+Shape parse_shape(const std::string& spec) {
+  std::int64_t dims[3] = {0, 0, 0};
+  std::istringstream stream(spec);
+  char sep = 'x';
+  stream >> dims[0] >> sep >> dims[1] >> sep >> dims[2];
+  SDMPEB_CHECK_MSG(!stream.fail() && dims[0] > 0 && dims[1] > 0 &&
+                       dims[2] > 0,
+                   "bad --shape '" << spec << "' (want DxHxW)");
+  return Shape{dims[0], dims[1], dims[2]};
 }
 
 eval::DatasetConfig dataset_config(const CliArgs& args) {
@@ -133,9 +149,10 @@ int cmd_train(const CliArgs& args) {
 
   install_signal_handlers();
   Rng model_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 1);
-  auto model = make_model(model_name, model_rng);
+  auto model = make_model(args, model_rng);
   core::TrainConfig train;
   train.epochs = args.get_int("epochs", 20);
+  train.max_steps = args.get_int("max-steps", 0);
   train.accumulation = args.get_int("accumulation", 1);
   train.lr0 = 1e-3f;
   train.verbose = true;
@@ -168,7 +185,7 @@ int cmd_evaluate(const CliArgs& args) {
   const auto ckpt = args.get("ckpt", model_name + ".ckpt");
   const auto dataset = eval::build_dataset(dataset_config(args));
   Rng model_rng(static_cast<std::uint64_t>(args.get_int("seed", 2025)) + 1);
-  auto model = make_model(model_name, model_rng);
+  auto model = make_model(args, model_rng);
   nn::load_parameters(*model, ckpt);
   const auto result = eval::evaluate_model(*model, dataset);
   std::printf("%s", eval::format_results_table(
@@ -177,10 +194,148 @@ int cmd_evaluate(const CliArgs& args) {
   return 0;
 }
 
+/// Read exactly n bytes from stdin. Returns 1 on success, 0 on clean EOF
+/// before the first byte, -1 when a shutdown signal arrived (EINTR path or
+/// flag poll). EOF mid-read is a truncated stream and throws — with the
+/// length prefix gone there is nothing to resynchronise on.
+int read_exact(void* buf, std::size_t n) {
+  auto* bytes = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    if (g_stop_requested.load(std::memory_order_relaxed)) return -1;
+    const ssize_t r = ::read(STDIN_FILENO, bytes + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      SDMPEB_CHECK_MSG(got == 0, "serve: stream truncated mid-frame ("
+                                     << got << "/" << n << " bytes)");
+      return 0;
+    }
+    if (errno == EINTR) continue;  // re-check the stop flag
+    SDMPEB_CHECK_MSG(false, "serve: stdin read failed: "
+                                << std::strerror(errno));
+  }
+  return 1;
+}
+
+void write_all(const void* buf, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::write(STDOUT_FILENO, bytes + put, n - put);
+    if (r >= 0) {
+      put += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    SDMPEB_CHECK_MSG(false, "serve: stdout write failed: "
+                                << std::strerror(errno));
+  }
+}
+
+int cmd_serve(const CliArgs& args) {
+  install_signal_handlers();
+  const auto model_name = args.get("model", "sdm");
+  const auto ckpt = args.get("ckpt", model_name + ".ckpt");
+  // Startup validation: a corrupt / truncated / mismatched checkpoint
+  // throws out of the FrozenModel constructor — the server never comes up
+  // on a bad artifact and never fails mid-request because of one.
+  serve::FrozenModel model(model_name,
+                           serve::parse_model_scale(args.get("scale", "")),
+                           ckpt, parse_shape(args.get("shape", "16x64x64")));
+  serve::ServeConfig config;
+  config.queue_capacity = args.get_int("queue", 64);
+  config.max_batch = args.get_int("max-batch", 8);
+  config.max_wait_ms = std::atof(args.get("max-wait-ms", "5").c_str());
+  config.default_deadline_ms =
+      std::atof(args.get("deadline-ms", "1000").c_str());
+  serve::ServeRuntime runtime(model, config);
+
+  // Responses come from the batcher thread, rejections from this thread:
+  // one mutex keeps wire frames whole.
+  std::mutex out_mutex;
+  const auto send = [&out_mutex](const serve::ResponseFrame& frame) {
+    const std::string payload = serve::encode_response(frame);
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    std::lock_guard<std::mutex> lock(out_mutex);
+    write_all(&len, sizeof(len));
+    write_all(payload.data(), payload.size());
+  };
+
+  std::uint64_t frames = 0;
+  std::uint64_t malformed = 0;
+  for (;;) {
+    std::uint32_t len = 0;
+    const int rl = read_exact(&len, sizeof(len));
+    if (rl <= 0) break;  // EOF or shutdown signal: drain below
+    // An insane length prefix is unrecoverable garbage (we cannot skip what
+    // we cannot measure) — fail fast with a diagnostic.
+    SDMPEB_CHECK_MSG(len > 0 && len <= serve::kMaxFrameBytes,
+                     "serve: unrecoverable frame length " << len);
+    std::string payload(len, '\0');
+    const int rp = read_exact(payload.data(), len);
+    if (rp < 0) break;
+    SDMPEB_CHECK_MSG(rp == 1, "serve: stream truncated mid-frame");
+    ++frames;
+
+    serve::RequestFrame request;
+    try {
+      request = serve::decode_request(payload);
+    } catch (const Error& e) {
+      // Malformed but measurable: reject this frame, keep serving.
+      ++malformed;
+      send({0, serve::Status::kInvalid, Tensor(), e.what()});
+      continue;
+    }
+    serve::Request req;
+    req.id = request.id;
+    req.priority = request.priority;
+    req.deadline_ms = static_cast<double>(request.deadline_ms);
+    req.acid = std::move(request.acid);
+    const std::uint64_t id = request.id;
+    const auto admission =
+        runtime.submit(std::move(req), [&send](serve::Response response) {
+          serve::ResponseFrame frame;
+          frame.id = response.id;
+          frame.status = response.status;
+          if (response.status == serve::Status::kOk)
+            frame.label = std::move(response.label);
+          else
+            frame.error = response.error;
+          send(frame);
+        });
+    if (!admission.accepted)
+      send({id, admission.status, Tensor(), admission.reason});
+  }
+
+  // Graceful exit (EOF or SIGINT/SIGTERM): admission stops, queued and
+  // in-flight work finishes, every accepted response reaches the wire.
+  runtime.drain();
+  const auto stats = runtime.stats();
+  std::fprintf(stderr,
+               "serve: %llu frames (%llu malformed), accepted %llu, "
+               "completed %llu, expired %llu, shed %llu, rejected %llu, "
+               "errors %llu, peak queue %lld\n",
+               static_cast<unsigned long long>(frames),
+               static_cast<unsigned long long>(malformed),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.expired),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.rejected_full +
+                                               stats.rejected_draining),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<long long>(stats.queue_depth_peak));
+  return 0;
+}
+
 void print_usage() {
   std::printf(
-      "usage: sdmpeb_cli <simulate|train|evaluate> [--key value ...]\n"
+      "usage: sdmpeb_cli <simulate|train|evaluate|serve> [--key value ...]\n"
       "  common:   --clips N --seed S --bake-seconds T\n"
+      "            --scale default|tiny (model scale, sdm only)\n"
       "            --trace PATH   (enable tracing, write Chrome trace JSON)\n"
       "            --metrics PATH (write metrics CSV; implies tracing)\n"
       "            --perf 1       (sample perf counters per span; implies\n"
@@ -198,9 +353,17 @@ void print_usage() {
       "            --resume PATH  (continue from a train-state checkpoint;\n"
       "                            bitwise identical to the unbroken run)\n"
       "            SIGINT/SIGTERM checkpoint and exit cleanly\n"
+      "            --max-steps N  (stop after N optimizer steps,\n"
+      "                            checkpointing first)\n"
       "            SDMPEB_FAULTS=site:prob,... deterministic fault "
       "injection\n"
-      "  evaluate: --model M --ckpt CKPT\n");
+      "  evaluate: --model M --ckpt CKPT\n"
+      "  serve:    --model M --ckpt CKPT --shape DxHxW (default 16x64x64)\n"
+      "            --queue N --max-batch B --max-wait-ms W --deadline-ms D\n"
+      "            length-prefixed request/response frames on stdin/stdout\n"
+      "            (serve/protocol.hpp); overload rejects with a reason and\n"
+      "            sheds low-priority work; SIGINT/SIGTERM drains then "
+      "exits\n");
 }
 
 /// Resolve observability outputs: --trace/--metrics force tracing on;
@@ -278,6 +441,7 @@ int main(int argc, char** argv) {
     if (args.command == "simulate") rc = cmd_simulate(args);
     if (args.command == "train") rc = cmd_train(args);
     if (args.command == "evaluate") rc = cmd_evaluate(args);
+    if (args.command == "serve") rc = cmd_serve(args);
     if (rc >= 0) {
       dump_obs(obs_cfg);
       return rc;

@@ -1,0 +1,62 @@
+#!/bin/bash
+# Regression test for the CLI's SIGTERM graceful-checkpoint path
+# (DESIGN.md §10): a training run killed with SIGTERM mid-flight must exit
+# cleanly (rc 0) leaving a valid, resumable TrainState checkpoint — the
+# resume-from-file half of this contract is covered by tests/resume_test.cpp,
+# this script covers the signal half end to end in a child process.
+#
+# Usage: test_sigterm_checkpoint.sh <sdmpeb_cli> <scratch-dir>
+set -u
+
+CLI="$1"
+OUT="$2"
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# Tiny model + tiny dataset keeps the run fast; --epochs is sized so the
+# run cannot finish before the signal lands; --ckpt-every 1 makes the first
+# checkpoint appear within one optimizer step.
+"$CLI" train --scale tiny --clips 3 --bake-seconds 3 --epochs 500 \
+  --ckpt-every 1 --out "$OUT/m.ckpt" --state "$OUT/m.state" &
+PID=$!
+
+# Wait for the first checkpoint (dataset generation runs first), then TERM.
+for _ in $(seq 1 600); do
+  [ -f "$OUT/m.state" ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: trainer exited before writing a checkpoint" >&2
+    wait "$PID"
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ ! -f "$OUT/m.state" ]; then
+  echo "FAIL: no checkpoint appeared within the wait budget" >&2
+  kill -9 "$PID" 2>/dev/null
+  exit 1
+fi
+
+kill -TERM "$PID"
+wait "$PID"
+RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "FAIL: CLI exited rc=$RC after SIGTERM (want graceful 0)" >&2
+  exit 1
+fi
+if [ ! -f "$OUT/m.state" ]; then
+  echo "FAIL: TrainState checkpoint missing after SIGTERM" >&2
+  exit 1
+fi
+
+# The checkpoint must be resumable: a budgeted resume run (--max-steps 1
+# stops at the first step boundary at or past the restored step count) must
+# load it, run, and exit 0. A corrupt or torn checkpoint throws at load and
+# the CLI exits 1.
+if ! "$CLI" train --scale tiny --clips 3 --bake-seconds 3 --epochs 500 \
+    --ckpt-every 1 --max-steps 1 --out "$OUT/m.ckpt" \
+    --state "$OUT/m.state" --resume "$OUT/m.state"; then
+  echo "FAIL: resume from the SIGTERM checkpoint failed" >&2
+  exit 1
+fi
+
+echo "SIGTERM_CHECKPOINT_OK"
